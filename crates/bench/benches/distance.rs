@@ -1,0 +1,39 @@
+//! Distance-kernel microbenchmarks: metric × dimension × SIMD level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use milvus_datagen as datagen;
+use milvus_index::distance::{ip_with_level, l2_sq_with_level};
+use milvus_index::SimdLevel;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    for dim in [96usize, 128, 512] {
+        let data = datagen::clustered(2, dim, 1, -1.0, 1.0, 0.5, 7);
+        let a = data.get(0).to_vec();
+        let b = data.get(1).to_vec();
+        for level in SimdLevel::ALL {
+            if !level.supported() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("l2/{level}"), dim),
+                &dim,
+                |bench, _| bench.iter(|| black_box(l2_sq_with_level(&a, &b, level))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("ip/{level}"), dim),
+                &dim,
+                |bench, _| bench.iter(|| black_box(ip_with_level(&a, &b, level))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! GPU engine benchmarks (ablations #4/#5): multi-bucket vs bucket-by-bucket
+//! PCIe copies, and the SQ8H hybrid split vs all-CPU / all-GPU.
+//!
+//! These measure the *simulator's* accounting (the modeled durations are the
+//! result of interest); criterion here tracks the host cost of running the
+//! model plus the exact host-side computation.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use milvus_datagen as datagen;
+use milvus_gpu::transfer::{CopyStrategy, TransferPlan};
+use milvus_gpu::{ExecMode, GpuDevice, GpuSpec, Sq8hIndex};
+use milvus_index::traits::{BuildParams, SearchParams};
+use std::hint::black_box;
+
+fn bench_transfer_plans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_transfer_model");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    let device = GpuDevice::new(0, GpuSpec::default());
+    let buckets = vec![64 * 1024usize; 500];
+
+    // Report the modeled durations once so the ablation numbers land in the
+    // bench output.
+    let faiss = TransferPlan::plan(&buckets, CopyStrategy::BucketByBucket);
+    let milvus = TransferPlan::plan(&buckets, CopyStrategy::MultiBucket { chunk_bytes: 8 << 20 });
+    println!(
+        "modeled copy of 500×64KiB buckets: bucket-by-bucket={:?}, multi-bucket={:?}",
+        device.transfer_cost(faiss.total_bytes, faiss.chunks),
+        device.transfer_cost(milvus.total_bytes, milvus.chunks),
+    );
+
+    group.bench_function("plan_bucket_by_bucket", |b| {
+        b.iter(|| black_box(TransferPlan::plan(&buckets, CopyStrategy::BucketByBucket)))
+    });
+    group.bench_function("plan_multi_bucket", |b| {
+        b.iter(|| {
+            black_box(TransferPlan::plan(
+                &buckets,
+                CopyStrategy::MultiBucket { chunk_bytes: 8 << 20 },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_sq8h_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sq8h_modes");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    let n = 20_000;
+    let data = datagen::sift_like(n, 51);
+    let ids: Vec<i64> = (0..n as i64).collect();
+    let params = BuildParams { nlist: 128, kmeans_iters: 4, ..Default::default() };
+    let device = Arc::new(GpuDevice::new(0, GpuSpec::host_calibrated(n * 16)));
+    let index = Sq8hIndex::build(&data, &ids, &params, device).expect("build");
+    let queries = datagen::queries_from(&data, 32, 2.0, 52);
+    let sp = SearchParams { k: 50, nprobe: 8, ..Default::default() };
+
+    for (name, mode) in [
+        ("pure_cpu", ExecMode::PureCpu),
+        ("pure_gpu", ExecMode::PureGpu),
+        ("sq8h_hybrid", ExecMode::Sq8h),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(index.search_batch_mode(&queries, &sp, mode)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transfer_plans, bench_sq8h_modes);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Index search microbenchmarks: one per built-in index type at a common
+//! operating point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use milvus_datagen as datagen;
+use milvus_index::registry::IndexRegistry;
+use milvus_index::traits::{BuildParams, SearchParams};
+use std::hint::black_box;
+
+fn bench_indexes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_search");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    let n = 20_000;
+    let data = datagen::sift_like(n, 11);
+    let ids: Vec<i64> = (0..n as i64).collect();
+    let queries = datagen::queries_from(&data, 16, 2.0, 12);
+    let registry = IndexRegistry::with_builtins();
+    let params = BuildParams { nlist: 256, kmeans_iters: 5, pq_m: 8, ..Default::default() };
+
+    for name in ["FLAT", "IVF_FLAT", "IVF_SQ8", "IVF_PQ", "HNSW", "NSG", "ANNOY"] {
+        let index = registry.build(name, &data, &ids, &params).expect("build");
+        let sp = SearchParams { k: 50, nprobe: 16, ef: 100, search_nodes: 2000 };
+        group.bench_function(name, |b| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                let q = queries.get(qi % queries.len());
+                qi += 1;
+                black_box(index.search(q, &sp).expect("search"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    let n = 5_000;
+    let data = datagen::sift_like(n, 13);
+    let ids: Vec<i64> = (0..n as i64).collect();
+    let registry = IndexRegistry::with_builtins();
+    let params = BuildParams { nlist: 64, kmeans_iters: 4, pq_m: 8, ..Default::default() };
+
+    // Quantization-based indexes are "much faster to build... when compared
+    // to graph-based indexes" (§3) — this pair shows the gap.
+    for name in ["IVF_FLAT", "HNSW"] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(registry.build(name, &data, &ids, &params).expect("build")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexes, bench_builds);
+criterion_main!(benches);

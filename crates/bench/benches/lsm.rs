@@ -1,0 +1,105 @@
+//! LSM storage-engine benchmarks: ingest throughput, flush cost, and the
+//! tiered-merge ablation (DESIGN.md #6) — query cost over fragmented vs
+//! merged segment sets.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use milvus_datagen as datagen;
+use milvus_index::traits::SearchParams;
+use milvus_index::{Metric, VectorSet};
+use milvus_storage::merge::MergePolicy;
+use milvus_storage::object_store::MemoryStore;
+use milvus_storage::{InsertBatch, LsmConfig, LsmEngine, Schema};
+use std::hint::black_box;
+
+fn engine(auto_merge: bool) -> LsmEngine {
+    let schema = Schema::single("v", 64, Metric::L2);
+    let cfg = LsmConfig {
+        flush_threshold_bytes: usize::MAX,
+        auto_merge,
+        merge_policy: MergePolicy { min_segments_per_merge: 2, ..Default::default() },
+        persist_segments: false,
+    };
+    LsmEngine::new(schema, cfg, Arc::new(MemoryStore::new()), None).expect("engine")
+}
+
+fn batch(start: i64, n: usize, data: &VectorSet, offset: usize) -> InsertBatch {
+    let rows: Vec<usize> = (offset..offset + n).collect();
+    InsertBatch::single((start..start + n as i64).collect(), data.gather(&rows))
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_ingest");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    let data = datagen::clustered(60_000, 64, 32, -1.0, 1.0, 0.3, 21);
+
+    group.bench_function("insert_1k_rows", |b| {
+        b.iter_batched(
+            || engine(false),
+            |e| {
+                e.insert(batch(0, 1000, &data, 0)).expect("insert");
+                black_box(e.pending_rows())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("insert_flush_1k_rows", |b| {
+        b.iter_batched(
+            || engine(false),
+            |e| {
+                e.insert(batch(0, 1000, &data, 0)).expect("insert");
+                e.flush().expect("flush");
+                black_box(e.snapshot().live_rows())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Ablation #6: search latency over many small segments vs the tier-merged
+/// equivalent.
+fn bench_merge_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_merge_ablation");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    let data = datagen::clustered(20_000, 64, 32, -1.0, 1.0, 0.3, 22);
+    let queries = datagen::queries_from(&data, 8, 0.1, 23);
+    let sp = SearchParams::top_k(10);
+
+    for (label, merged) in [("fragmented_20_segments", false), ("tier_merged", true)] {
+        let e = engine(false);
+        for i in 0..20 {
+            e.insert(batch(i as i64 * 1000, 1000, &data, i * 1000)).expect("insert");
+            e.flush().expect("flush");
+        }
+        if merged {
+            while e.maybe_merge().expect("merge") > 0 {}
+        }
+        let snap = e.snapshot();
+        let schema = e.schema().clone();
+        group.bench_with_input(BenchmarkId::new("search", label), &label, |b, _| {
+            let mut qi = 0usize;
+            b.iter(|| {
+                let q = queries.get(qi % queries.len());
+                qi += 1;
+                let lists: Vec<_> = snap
+                    .segments
+                    .iter()
+                    .map(|s| s.search_field(&schema, "v", q, &sp, None).expect("search"))
+                    .collect();
+                black_box(milvus_storage::segment::merge_segment_results(&lists, sp.k))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_merge_ablation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Multi-vector query benchmarks (ablation #7: IMG adaptive doubling vs
+//! fixed-depth NRA; fusion as the decomposable fast path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use milvus_datagen as datagen;
+use milvus_index::registry::IndexRegistry;
+use milvus_index::traits::{BuildParams, SearchParams};
+use milvus_index::Metric;
+use milvus_query::multivector::MultiVectorEngine;
+use std::hint::black_box;
+
+fn bench_multivector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multivector");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    let n = 20_000;
+    let (text, image) = datagen::recipe_like(n, 32, 24, 41);
+    let ids: Vec<i64> = (0..n as i64).collect();
+    let registry = IndexRegistry::with_builtins();
+    let params =
+        BuildParams { metric: Metric::InnerProduct, nlist: 128, kmeans_iters: 4, ..Default::default() };
+    let engine = MultiVectorEngine::build(
+        Metric::InnerProduct,
+        vec![text.clone(), image.clone()],
+        ids,
+        vec![0.6, 0.4],
+        "IVF_FLAT",
+        &registry,
+        &params,
+        true,
+    )
+    .expect("engine");
+    let q0 = text.get(7).to_vec();
+    let q1 = image.get(7).to_vec();
+    let sp = SearchParams { k: 50, nprobe: 16, ..Default::default() };
+
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(engine.naive(&[&q0, &q1], &sp).expect("naive")))
+    });
+    group.bench_function("nra_2048", |b| {
+        b.iter(|| black_box(engine.nra_fixed(&[&q0, &q1], &sp, 2048).expect("nra")))
+    });
+    group.bench_function("iterative_merging_4096", |b| {
+        b.iter(|| black_box(engine.iterative_merging(&[&q0, &q1], &sp, 4096).expect("img")))
+    });
+    group.bench_function("vector_fusion", |b| {
+        b.iter(|| black_box(engine.vector_fusion(&[&q0, &q1], &sp).expect("fusion")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multivector);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Ad-hoc recall probe used while tuning index parameters (not part of the
+//! reproduction harness).
+fn main() {
+    use milvus_index::registry::IndexRegistry;
+    use milvus_index::traits::{BuildParams, SearchParams};
+    use milvus_index::Metric;
+    let n = 4000;
+    let data = milvus_datagen::sift_like(n, 601);
+    let ids: Vec<i64> = (0..n as i64).collect();
+    let registry = IndexRegistry::with_builtins();
+    let params = BuildParams { metric: Metric::L2, nlist: 64, kmeans_iters: 5, hnsw_m: 16,
+        hnsw_ef_construction: 150, nsg_out_degree: 24, annoy_n_trees: 16, pq_m: 16, ..Default::default() };
+    let queries = milvus_datagen::queries_from(&data, 30, 1.0, 602);
+    for k in [10usize, 50] {
+        let truth = milvus_datagen::ground_truth(&data, &ids, &queries, Metric::L2, k);
+        for (name, sp) in [("IVF_PQ", SearchParams{k,nprobe:32,..Default::default()}),
+                           ("NSG", SearchParams{k,ef:128,..Default::default()})] {
+            let idx = registry.build(name, &data, &ids, &params).unwrap();
+            let results: Vec<_> = (0..queries.len()).map(|i| idx.search(queries.get(i), &sp).unwrap()).collect();
+            println!("{name} k={k}: recall {}", milvus_datagen::recall(&truth, &results));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! `repro` — regenerate every table and figure of the Milvus SIGMOD'21
+//! evaluation (§7) on synthetic laptop-scale workloads.
+//!
+//! Usage:
+//! ```text
+//! repro [--quick] [--json out.json] [--table1] [--fig8] [--fig9] [--fig10]
+//!       [--fig11] [--fig12] [--fig13] [--fig14] [--fig15] [--fig16] [--all]
+//! ```
+//! With no experiment flags, `--all` is assumed.
+
+use milvus_bench::experiments as exp;
+use milvus_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Standard };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let known = [
+        "--table1", "--fig8", "--fig9", "--fig10", "--fig11", "--fig12", "--fig13", "--fig14",
+        "--fig15", "--fig16", "--all", "--quick", "--json",
+    ];
+    for a in &args {
+        if !known.contains(&a.as_str()) && json_path.as_deref() != Some(a.as_str()) {
+            eprintln!("unknown flag {a}; known: {known:?}");
+            std::process::exit(2);
+        }
+    }
+
+    let explicit = args.iter().any(|a| a.starts_with("--fig") || a == "--table1");
+    let wants =
+        |flag: &str| args.iter().any(|a| a == flag) || args.iter().any(|a| a == "--all") || !explicit;
+
+    println!("Milvus reproduction harness — scale: {scale:?}");
+    let mut out = serde_json::Map::new();
+
+    if wants("--table1") {
+        out.insert("table1".into(), exp::table1::run());
+    }
+    if wants("--fig8") {
+        out.insert("fig8".into(), exp::fig8_ivf::run(scale));
+    }
+    if wants("--fig9") {
+        out.insert("fig9".into(), exp::fig9_hnsw::run(scale));
+    }
+    if wants("--fig10") {
+        out.insert("fig10".into(), exp::fig10_scalability::run(scale));
+    }
+    if wants("--fig11") {
+        out.insert("fig11".into(), exp::fig11_cache::run(scale));
+    }
+    if wants("--fig12") {
+        out.insert("fig12".into(), exp::fig12_simd::run(scale));
+    }
+    if wants("--fig13") {
+        out.insert("fig13".into(), exp::fig13_gpu::run(scale));
+    }
+    if wants("--fig14") {
+        out.insert("fig14".into(), exp::fig14_filtering::run(scale));
+    }
+    if wants("--fig15") {
+        out.insert("fig15".into(), exp::fig15_filtering_systems::run(scale));
+    }
+    if wants("--fig16") {
+        out.insert("fig16".into(), exp::fig16_multivector::run(scale));
+    }
+
+    if let Some(path) = json_path {
+        let blob = serde_json::to_string_pretty(&serde_json::Value::Object(out))
+            .expect("serialize results");
+        std::fs::write(&path, blob).expect("write results json");
+        println!("\nresults written to {path}");
+    }
+}

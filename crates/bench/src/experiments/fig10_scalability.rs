@@ -1,0 +1,107 @@
+//! Figure 10: scalability.
+//!
+//! (a) single node, throughput vs data size — throughput should drop roughly
+//!     proportionally as the data grows (paper: 1 M → 1 B; here scaled);
+//! (b) distributed, throughput vs reader count — near-linear scaling. Node
+//!     parallelism is simulated: each reader accumulates its own busy clock,
+//!     and a query wave's wall time is the max over readers (they run
+//!     concurrently on independent machines in the real deployment).
+
+use std::sync::Arc;
+
+use milvus_datagen as datagen;
+use milvus_distributed::Cluster;
+use milvus_index::ivf::{IvfIndex, IvfVariant};
+use milvus_index::traits::{BuildParams, SearchParams};
+use milvus_index::{Metric, VectorIndex, VectorSet};
+use milvus_storage::object_store::MemoryStore;
+use milvus_storage::{InsertBatch, LsmConfig, Schema};
+use serde_json::json;
+
+use crate::util::{banner, qps, Scale, Timer};
+
+/// Figure 10(a): throughput vs data size on one node.
+pub fn run_single_node(scale: Scale) -> serde_json::Value {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![1_000, 5_000, 20_000],
+        Scale::Standard => vec![1_000, 10_000, 50_000, 100_000, 200_000],
+    };
+    let m = scale.query_m();
+    let k = 50;
+    banner("Figure 10a: throughput vs data size (single node, IVF_FLAT)");
+    println!("{:>10} {:>12}", "data size", "QPS");
+
+    let mut rows = Vec::new();
+    let full = datagen::sift_like(*sizes.last().expect("non-empty"), 1001);
+    for &n in &sizes {
+        let rows_idx: Vec<usize> = (0..n).collect();
+        let data = full.gather(&rows_idx);
+        let ids: Vec<i64> = (0..n as i64).collect();
+        let params = BuildParams { nlist: 1024, kmeans_iters: 5, ..Default::default() };
+        let ivf = IvfIndex::build(IvfVariant::Flat, &data, &ids, &params).expect("build");
+        let queries = datagen::queries_from(&data, m, 2.0, 77);
+        let sp = SearchParams { k, nprobe: 8, ..Default::default() };
+        let t = Timer::start();
+        for i in 0..m {
+            ivf.search(queries.get(i), &sp).expect("search");
+        }
+        let q = qps(m, t.secs());
+        println!("{n:>10} {q:>12.1}");
+        rows.push(json!({ "n": n, "qps": q }));
+    }
+    json!(rows)
+}
+
+/// Figure 10(b): throughput vs reader-node count (simulated parallelism).
+pub fn run_distributed(scale: Scale) -> serde_json::Value {
+    let n = scale.dataset_n();
+    let m = scale.query_m();
+    let node_counts: &[usize] = match scale {
+        Scale::Quick => &[1, 2, 4],
+        Scale::Standard => &[1, 2, 4, 8, 12],
+    };
+    // Plenty of shards per reader keeps the consistent-hash assignment
+    // balanced (the critical path is the busiest reader, so shard-count
+    // variance directly caps scaling).
+    let shards = 96;
+    let data = datagen::sift_like(n, 1002);
+    let queries = datagen::queries_from(&data, m, 2.0, 177);
+    let schema = Schema::single("v", 128, Metric::L2);
+
+    banner("Figure 10b: throughput vs number of reader nodes (simulated)");
+    println!("{:>7} {:>16} {:>14}", "nodes", "QPS (simulated)", "critical path");
+
+    let mut rows = Vec::new();
+    for &readers in node_counts {
+        let cluster = Cluster::new(
+            schema.clone(),
+            shards,
+            readers,
+            Arc::new(MemoryStore::new()),
+            LsmConfig { auto_merge: false, ..Default::default() },
+        )
+        .expect("cluster");
+        let ids: Vec<i64> = (0..n as i64).collect();
+        cluster
+            .insert(InsertBatch::single(ids, VectorSet::from_flat(128, data.as_flat().to_vec())))
+            .expect("insert");
+        cluster.flush().expect("flush");
+
+        cluster.reset_busy();
+        let sp = SearchParams::top_k(50);
+        for i in 0..m {
+            cluster.search("v", queries.get(i), &sp).expect("search");
+        }
+        // Wall time of the wave on a real cluster = the busiest node.
+        let critical = cluster.critical_path().as_secs_f64();
+        let q = qps(m, critical);
+        println!("{readers:>7} {q:>16.1} {critical:>13.3}s");
+        rows.push(json!({ "nodes": readers, "qps": q, "critical_path_s": critical }));
+    }
+    json!(rows)
+}
+
+/// Run both panels.
+pub fn run(scale: Scale) -> serde_json::Value {
+    json!({ "fig10a": run_single_node(scale), "fig10b": run_distributed(scale) })
+}

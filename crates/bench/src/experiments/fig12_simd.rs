@@ -1,0 +1,63 @@
+//! Figure 12: SIMD optimizations — AVX2 vs AVX-512 execution time across
+//! data sizes (plus scalar and SSE for context; the paper reports AVX-512 ≈
+//! 1.5× AVX2 on the batch workload).
+
+use milvus_datagen as datagen;
+use milvus_index::distance::l2_sq_with_level;
+use milvus_index::SimdLevel;
+use serde_json::json;
+
+use crate::util::{banner, Scale, Timer};
+
+/// Run Figure 12 at `scale`.
+pub fn run(scale: Scale) -> serde_json::Value {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![1_000, 10_000, 50_000],
+        Scale::Standard => vec![1_000, 10_000, 100_000, 300_000],
+    };
+    let m = match scale {
+        Scale::Quick => 100,
+        Scale::Standard => 500,
+    };
+    let queries = datagen::sift_like(m, 121);
+
+    banner("Figure 12: SIMD level comparison (batch distance computation)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>16}",
+        "data size", "scalar (s)", "SSE (s)", "AVX2 (s)", "AVX512 (s)", "AVX512 vs AVX2"
+    );
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let data = datagen::sift_like(n, 122);
+        let mut timings = Vec::new();
+        for level in SimdLevel::ALL {
+            if !level.supported() {
+                timings.push(f64::NAN);
+                continue;
+            }
+            let t = Timer::start();
+            let mut acc = 0.0f32;
+            for qi in 0..m {
+                let q = queries.get(qi);
+                for v in data.iter() {
+                    acc += l2_sq_with_level(q, v, level);
+                }
+            }
+            std::hint::black_box(acc);
+            timings.push(t.secs());
+        }
+        let ratio = timings[2] / timings[3].max(1e-12);
+        println!(
+            "{n:>10} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {ratio:>15.2}x",
+            timings[0], timings[1], timings[2], timings[3]
+        );
+        rows.push(json!({
+            "n": n,
+            "scalar_s": timings[0], "sse_s": timings[1],
+            "avx2_s": timings[2], "avx512_s": timings[3],
+            "avx512_speedup_over_avx2": ratio,
+        }));
+    }
+    json!(rows)
+}

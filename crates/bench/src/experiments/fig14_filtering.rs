@@ -1,0 +1,115 @@
+//! Figure 14: attribute-filtering strategies A–E in Milvus, execution time
+//! vs query selectivity, two settings: (k=50, recall≥0.95) and (k=500,
+//! recall≥0.85).
+//!
+//! Selectivity follows the paper's definition: the fraction of entities that
+//! *fail* the constraint, so 0.99 means only 1% of rows pass.
+
+use milvus_datagen as datagen;
+use milvus_index::registry::IndexRegistry;
+use milvus_index::traits::{BuildParams, SearchParams};
+use milvus_index::Metric;
+use milvus_query::filtering::{FilterDataset, PartitionedDataset, RangePredicate, Strategy};
+use serde_json::json;
+
+use crate::util::{banner, Scale, Timer};
+
+const SELECTIVITIES: &[f64] = &[0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.95, 0.99];
+
+/// Predicate whose pass-fraction is `1 - selectivity` over a uniform
+/// attribute in [0, 10000).
+fn predicate(selectivity: f64) -> RangePredicate {
+    RangePredicate::new(0.0, 10_000.0 * (1.0 - selectivity))
+}
+
+/// One (k, nprobe) setting of the experiment.
+fn setting(
+    name: &str,
+    data: &FilterDataset,
+    part: &PartitionedDataset,
+    queries: &milvus_index::VectorSet,
+    sp: &SearchParams,
+) -> Vec<serde_json::Value> {
+    banner(&format!("Figure 14 ({name}): filtering strategies A-E vs selectivity"));
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "selectivity", "A (s)", "B (s)", "C (s)", "D (s)", "E (s)"
+    );
+    let mut rows = Vec::new();
+    for &sel in SELECTIVITIES {
+        let pred = predicate(sel);
+        let mut times = Vec::new();
+        for strat in [Strategy::A, Strategy::B, Strategy::C, Strategy::D] {
+            let t = Timer::start();
+            for qi in 0..queries.len() {
+                data.search(queries.get(qi), pred, sp, strat).expect("strategy search");
+            }
+            times.push(t.secs());
+        }
+        let t = Timer::start();
+        for qi in 0..queries.len() {
+            part.search(queries.get(qi), pred, sp).expect("strategy E search");
+        }
+        times.push(t.secs());
+        println!(
+            "{sel:>12.2} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            times[0], times[1], times[2], times[3], times[4]
+        );
+        rows.push(json!({
+            "setting": name, "selectivity": sel,
+            "A_s": times[0], "B_s": times[1], "C_s": times[2],
+            "D_s": times[3], "E_s": times[4],
+        }));
+    }
+    rows
+}
+
+/// Build the shared fixture: SIFT-like vectors + uniform attribute.
+pub fn fixture(
+    scale: Scale,
+) -> (FilterDataset, PartitionedDataset, milvus_index::VectorSet) {
+    let n = scale.dataset_n();
+    let data = datagen::sift_like(n, 141);
+    let ids: Vec<i64> = (0..n as i64).collect();
+    let values = datagen::attributes_uniform(n, 0.0, 10_000.0, 142);
+    let registry = IndexRegistry::with_builtins();
+    let params = BuildParams { nlist: 256, kmeans_iters: 5, ..Default::default() };
+    let dataset = FilterDataset::build(
+        Metric::L2,
+        data.clone(),
+        ids.clone(),
+        values.clone(),
+        "attr",
+        "IVF_FLAT",
+        &registry,
+        &params,
+    )
+    .expect("dataset");
+    // ρ sized so each partition holds ~ n/10 rows (paper: ~1M at 100M scale).
+    let part = PartitionedDataset::build(
+        Metric::L2,
+        &data,
+        &ids,
+        &values,
+        "attr",
+        10,
+        "IVF_FLAT",
+        &registry,
+        &params,
+    )
+    .expect("partitioned");
+    let queries = datagen::queries_from(&data, scale.query_m() / 5, 2.0, 143);
+    (dataset, part, queries)
+}
+
+/// Run Figure 14 at `scale`.
+pub fn run(scale: Scale) -> serde_json::Value {
+    let (dataset, part, queries) = fixture(scale);
+    // High-recall setting: k=50, generous nprobe.
+    let sp_a = SearchParams { k: 50, nprobe: 64, ..Default::default() };
+    let rows_a = setting("k=50, recall>=0.95", &dataset, &part, &queries, &sp_a);
+    // Bigger-k, lower-recall setting.
+    let sp_b = SearchParams { k: 500, nprobe: 16, ..Default::default() };
+    let rows_b = setting("k=500, recall>=0.85", &dataset, &part, &queries, &sp_b);
+    json!([rows_a, rows_b])
+}

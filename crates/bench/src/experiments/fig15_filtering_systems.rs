@@ -1,0 +1,67 @@
+//! Figure 15: attribute filtering — Milvus (partition-based strategy E)
+//! versus the baseline systems (Vearch-like fixed post-filter, relational
+//! full-scan post-filter).
+
+use milvus_baselines::{RelationalLikeEngine, VearchLikeEngine};
+use milvus_datagen as datagen;
+use milvus_index::traits::{BuildParams, SearchParams};
+use milvus_index::Metric;
+use serde_json::json;
+
+use super::fig14_filtering::fixture;
+use crate::util::{banner, Scale, Timer};
+
+const SELECTIVITIES: &[f64] = &[0.0, 0.3, 0.7, 0.9, 0.99];
+
+/// Run Figure 15 at `scale`.
+pub fn run(scale: Scale) -> serde_json::Value {
+    let n = scale.dataset_n();
+    let (_, part, queries) = fixture(scale);
+    let data = datagen::sift_like(n, 141);
+    let ids: Vec<i64> = (0..n as i64).collect();
+    let values = datagen::attributes_uniform(n, 0.0, 10_000.0, 142);
+    let params = BuildParams { nlist: 256, kmeans_iters: 5, ..Default::default() };
+    let vearch = VearchLikeEngine::build(&data, &ids, &values, n / 20, &params).expect("vearch");
+    let relational = RelationalLikeEngine::build(Metric::L2, &data, &ids, &values);
+
+    banner("Figure 15: attribute filtering across systems (k=50)");
+    println!(
+        "{:>12} {:>14} {:>16} {:>18}",
+        "selectivity", "Milvus E (s)", "Vearch-like (s)", "Relational (s)"
+    );
+
+    let sp = SearchParams { k: 50, nprobe: 32, ..Default::default() };
+    let m = queries.len();
+    let mut rows = Vec::new();
+    for &sel in SELECTIVITIES {
+        let hi = 10_000.0 * (1.0 - sel);
+        let pred = milvus_query::filtering::RangePredicate::new(0.0, hi);
+
+        let t = Timer::start();
+        for qi in 0..m {
+            part.search(queries.get(qi), pred, &sp).expect("milvus");
+        }
+        let milvus_s = t.secs();
+
+        let t = Timer::start();
+        for qi in 0..m {
+            vearch.filtered_search(queries.get(qi), 0.0, hi, &sp).expect("vearch");
+        }
+        let vearch_s = t.secs();
+
+        let t = Timer::start();
+        for qi in 0..m {
+            relational.filtered_search(queries.get(qi), 0.0, hi, &sp);
+        }
+        let rel_s = t.secs();
+
+        println!("{sel:>12.2} {milvus_s:>14.3} {vearch_s:>16.3} {rel_s:>18.3}");
+        rows.push(json!({
+            "selectivity": sel,
+            "milvus_e_s": milvus_s,
+            "vearch_like_s": vearch_s,
+            "relational_s": rel_s,
+        }));
+    }
+    json!(rows)
+}

@@ -1,0 +1,145 @@
+//! Figure 16: multi-vector query processing on Recipe-like two-vector
+//! entities (text + image), weighted-sum aggregation, k=50.
+//!
+//! (a) Euclidean distance: NRA-50, NRA-2048 vs iterative merging with
+//!     k′ thresholds 4096/8192/16384 — throughput vs recall;
+//! (b) inner product: iterative merging vs **vector fusion** (single search
+//!     over the concatenated index), expected 3.4×–5.8× faster.
+
+use milvus_datagen as datagen;
+use milvus_index::registry::IndexRegistry;
+use milvus_index::traits::{BuildParams, SearchParams};
+use milvus_index::Metric;
+use milvus_query::multivector::MultiVectorEngine;
+use serde_json::json;
+
+use crate::util::{banner, qps, Scale, Timer};
+
+fn build_engine(scale: Scale, metric: Metric, fusion: bool) -> (MultiVectorEngine, usize) {
+    let n = scale.dataset_n();
+    let (text, image) = datagen::recipe_like(n, 32, 24, 161);
+    let ids: Vec<i64> = (0..n as i64).collect();
+    let registry = IndexRegistry::with_builtins();
+    let params = BuildParams { metric, nlist: 256, kmeans_iters: 5, ..Default::default() };
+    let engine = MultiVectorEngine::build(
+        metric,
+        vec![text, image],
+        ids,
+        vec![0.6, 0.4],
+        "IVF_FLAT",
+        &registry,
+        &params,
+        fusion,
+    )
+    .expect("engine");
+    (engine, n)
+}
+
+fn truth_for(
+    engine: &MultiVectorEngine,
+    queries: &[(Vec<f32>, Vec<f32>)],
+    k: usize,
+) -> Vec<Vec<i64>> {
+    queries
+        .iter()
+        .map(|(q0, q1)| {
+            engine
+                .exact(&[q0, q1], k)
+                .expect("exact")
+                .into_iter()
+                .map(|n| n.id)
+                .collect()
+        })
+        .collect()
+}
+
+fn queries_for(scale: Scale, n: usize) -> Vec<(Vec<f32>, Vec<f32>)> {
+    let m = (scale.query_m() / 5).max(20);
+    let (text, image) = datagen::recipe_like(n, 32, 24, 161);
+    let qt = datagen::queries_from(&text, m, 0.05, 162);
+    let qi = datagen::queries_from(&image, m, 0.05, 162);
+    (0..m).map(|i| (qt.get(i).to_vec(), qi.get(i).to_vec())).collect()
+}
+
+/// Figure 16(a): Euclidean — NRA vs iterative merging.
+pub fn run_euclidean(scale: Scale) -> serde_json::Value {
+    let (engine, n) = build_engine(scale, Metric::L2, false);
+    let queries = queries_for(scale, n);
+    let k = 50;
+    let truth = truth_for(&engine, &queries, k);
+    let sp = SearchParams { k, nprobe: 32, ..Default::default() };
+
+    banner("Figure 16a: multi-vector (Euclidean) — NRA vs iterative merging");
+    println!("{:<14} {:>8} {:>12}", "method", "recall", "QPS");
+    let mut rows = Vec::new();
+
+    for depth in [50usize, 2048] {
+        let t = Timer::start();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|(q0, q1)| engine.nra_fixed(&[q0, q1], &sp, depth).expect("nra"))
+            .collect();
+        let secs = t.secs();
+        let recall = datagen::recall(&truth, &results);
+        let q = qps(queries.len(), secs);
+        println!("{:<14} {recall:>8.3} {q:>12.1}", format!("NRA-{depth}"));
+        rows.push(json!({ "method": format!("NRA-{depth}"), "recall": recall, "qps": q }));
+    }
+
+    for threshold in [4096usize, 8192, 16384] {
+        let t = Timer::start();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|(q0, q1)| engine.iterative_merging(&[q0, q1], &sp, threshold).expect("img").0)
+            .collect();
+        let secs = t.secs();
+        let recall = datagen::recall(&truth, &results);
+        let q = qps(queries.len(), secs);
+        println!("{:<14} {recall:>8.3} {q:>12.1}", format!("IMG-{threshold}"));
+        rows.push(json!({ "method": format!("IMG-{threshold}"), "recall": recall, "qps": q }));
+    }
+    json!(rows)
+}
+
+/// Figure 16(b): inner product — iterative merging vs vector fusion.
+pub fn run_inner_product(scale: Scale) -> serde_json::Value {
+    let (engine, n) = build_engine(scale, Metric::InnerProduct, true);
+    let queries = queries_for(scale, n);
+    let k = 50;
+    let truth = truth_for(&engine, &queries, k);
+    let sp = SearchParams { k, nprobe: 32, ..Default::default() };
+
+    banner("Figure 16b: multi-vector (inner product) — IMG vs vector fusion");
+    println!("{:<14} {:>8} {:>12}", "method", "recall", "QPS");
+    let mut rows = Vec::new();
+
+    for threshold in [4096usize, 8192] {
+        let t = Timer::start();
+        let results: Vec<_> = queries
+            .iter()
+            .map(|(q0, q1)| engine.iterative_merging(&[q0, q1], &sp, threshold).expect("img").0)
+            .collect();
+        let secs = t.secs();
+        let recall = datagen::recall(&truth, &results);
+        let q = qps(queries.len(), secs);
+        println!("{:<14} {recall:>8.3} {q:>12.1}", format!("IMG-{threshold}"));
+        rows.push(json!({ "method": format!("IMG-{threshold}"), "recall": recall, "qps": q }));
+    }
+
+    let t = Timer::start();
+    let results: Vec<_> = queries
+        .iter()
+        .map(|(q0, q1)| engine.vector_fusion(&[q0, q1], &sp).expect("fusion"))
+        .collect();
+    let secs = t.secs();
+    let recall = datagen::recall(&truth, &results);
+    let q = qps(queries.len(), secs);
+    println!("{:<14} {recall:>8.3} {q:>12.1}", "vector fusion");
+    rows.push(json!({ "method": "vector fusion", "recall": recall, "qps": q }));
+    json!(rows)
+}
+
+/// Run both panels.
+pub fn run(scale: Scale) -> serde_json::Value {
+    json!({ "fig16a": run_euclidean(scale), "fig16b": run_inner_product(scale) })
+}

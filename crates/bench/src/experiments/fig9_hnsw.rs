@@ -1,0 +1,173 @@
+//! Figure 9: throughput vs recall on the HNSW graph index.
+//!
+//! Series: Milvus_HNSW (full SIMD dispatch, parallel queries), System A
+//! (HNSW inside a generic engine: one query at a time), Vearch-like (HNSW
+//! over never-merged small segments: one graph per fragment), System C
+//! (HNSW walked with scalar distance kernels — generic row-store expression
+//! evaluation). The paper omits System A on Deep (no inner product support)
+//! and System C on Deep (index build never finished); we keep both panels
+//! complete and note the difference in EXPERIMENTS.md.
+
+use milvus_datagen as datagen;
+use milvus_index::hnsw::HnswIndex;
+use milvus_index::traits::{BuildParams, SearchParams};
+use milvus_index::{Metric, Neighbor, VectorIndex, VectorSet};
+use serde_json::json;
+
+use super::fig8_ivf::Point;
+use crate::util::{banner, qps, Scale, Timer};
+
+const EFS: &[usize] = &[16, 32, 64, 128, 256];
+
+fn measure<F>(system: &str, param: usize, truth: &[Vec<i64>], m: usize, f: F) -> Point
+where
+    F: FnOnce() -> Vec<Vec<Neighbor>>,
+{
+    let t = Timer::start();
+    let results = f();
+    let secs = t.secs();
+    Point {
+        system: system.to_string(),
+        param,
+        recall: datagen::recall(truth, &results),
+        qps: qps(m, secs),
+    }
+}
+
+/// A fragmented "Vearch-like" HNSW deployment: one graph per small segment.
+struct FragmentedHnsw {
+    graphs: Vec<HnswIndex>,
+}
+
+impl FragmentedHnsw {
+    fn build(data: &VectorSet, ids: &[i64], segment_rows: usize, params: &BuildParams) -> Self {
+        let mut graphs = Vec::new();
+        let mut start = 0;
+        while start < ids.len() {
+            let end = (start + segment_rows).min(ids.len());
+            let rows: Vec<usize> = (start..end).collect();
+            let seg = data.gather(&rows);
+            graphs.push(HnswIndex::build(&seg, &ids[start..end], params).expect("hnsw build"));
+            start = end;
+        }
+        Self { graphs }
+    }
+
+    fn search(&self, q: &[f32], sp: &SearchParams) -> Vec<Neighbor> {
+        let lists: Vec<Vec<Neighbor>> =
+            self.graphs.iter().map(|g| g.search(q, sp).expect("search")).collect();
+        milvus_index::topk::merge_sorted(&lists, sp.k)
+    }
+}
+
+fn panel(name: &str, data: &VectorSet, metric: Metric, scale: Scale) -> Vec<Point> {
+    use rayon::prelude::*;
+    let n = data.len();
+    let m = scale.query_m();
+    let k = 50;
+    let ids: Vec<i64> = (0..n as i64).collect();
+    let queries = datagen::queries_from(data, m, 2.0, 909);
+    let truth = datagen::ground_truth(data, &ids, &queries, metric, k);
+    let params = BuildParams { metric, hnsw_m: 16, hnsw_ef_construction: 150, ..Default::default() };
+    let parallel = rayon::current_num_threads() > 1;
+
+    let mut points = Vec::new();
+
+    // Milvus HNSW: full SIMD dispatch; query-parallel when cores allow.
+    let hnsw = HnswIndex::build(data, &ids, &params).expect("build hnsw");
+    for &ef in EFS {
+        let sp = SearchParams { k, ef, ..Default::default() };
+        points.push(measure("Milvus_HNSW", ef, &truth, m, || {
+            if parallel {
+                (0..m)
+                    .into_par_iter()
+                    .map(|i| hnsw.search(queries.get(i), &sp).expect("search"))
+                    .collect()
+            } else {
+                (0..m).map(|i| hnsw.search(queries.get(i), &sp).expect("search")).collect()
+            }
+        }));
+    }
+
+    // System A: the same graph inside a generic engine — sequential, scalar
+    // distance kernels (no per-ISA tuning). On a multi-core host Milvus
+    // additionally wins by query parallelism; on one core the kernel gap is
+    // what remains measurable (see EXPERIMENTS.md).
+    milvus_index::simd::force_level(milvus_index::simd::SimdLevel::Scalar)
+        .expect("scalar always supported");
+    for &ef in EFS {
+        let sp = SearchParams { k, ef, ..Default::default() };
+        points.push(measure("System A (scalar HNSW)", ef, &truth, m, || {
+            (0..m).map(|i| hnsw.search(queries.get(i), &sp).expect("search")).collect()
+        }));
+    }
+    milvus_index::simd::reset_level();
+
+    // Vearch-like: fragmented graphs, every fragment searched per query.
+    let fragmented = FragmentedHnsw::build(data, &ids, n / 20, &params);
+    for &ef in EFS {
+        let sp = SearchParams { k, ef, ..Default::default() };
+        points.push(measure("Vearch-like (fragmented HNSW)", ef, &truth, m, || {
+            (0..m).map(|i| fragmented.search(queries.get(i), &sp)).collect()
+        }));
+    }
+
+    // System C: scalar graph walk + row-store tuple re-fetch: the index
+    // yields candidate TIDs and the engine fetches each heap tuple to
+    // recompute the distance (PASE-style integration).
+    let row_heap: std::collections::HashMap<i64, Box<[f32]>> = ids
+        .iter()
+        .map(|&id| (id, data.get(id as usize).to_vec().into_boxed_slice()))
+        .collect();
+    milvus_index::simd::force_level(milvus_index::simd::SimdLevel::Scalar)
+        .expect("scalar always supported");
+    for &ef in EFS {
+        // The index is asked for ef candidates; the engine re-scores them.
+        let sp = SearchParams { k: ef.max(k), ef, ..Default::default() };
+        points.push(measure("System C (row-store HNSW)", ef, &truth, m, || {
+            (0..m)
+                .map(|i| {
+                    let q = queries.get(i);
+                    let cands = hnsw.search(q, &sp).expect("search");
+                    let mut heap = milvus_index::TopK::new(k);
+                    for c in cands {
+                        let v = &row_heap[&c.id];
+                        let d = match metric {
+                            Metric::InnerProduct => -milvus_index::distance::ip_with_level(
+                                q,
+                                v,
+                                milvus_index::SimdLevel::Scalar,
+                            ),
+                            _ => milvus_index::distance::l2_sq_with_level(
+                                q,
+                                v,
+                                milvus_index::SimdLevel::Scalar,
+                            ),
+                        };
+                        heap.push(c.id, d);
+                    }
+                    heap.into_sorted()
+                })
+                .collect()
+        }));
+    }
+    milvus_index::simd::reset_level();
+
+    banner(&format!("Figure 9 ({name}): throughput vs recall, HNSW"));
+    println!("{:<34} {:>7} {:>8} {:>12}", "system", "ef", "recall", "QPS");
+    for p in &points {
+        println!("{:<34} {:>7} {:>8.3} {:>12.1}", p.system, p.param, p.recall, p.qps);
+    }
+    points
+}
+
+/// Run Figure 9 at `scale`.
+pub fn run(scale: Scale) -> serde_json::Value {
+    let n = scale.dataset_n();
+    let sift = datagen::sift_like(n, 9901);
+    let sift_points = panel("SIFT-like", &sift, Metric::L2, scale);
+    drop(sift);
+    let deep = datagen::deep_like(n, 9902);
+    let deep_points = panel("Deep-like", &deep, Metric::InnerProduct, scale);
+    json!({ "sift": sift_points, "deep": deep_points })
+}

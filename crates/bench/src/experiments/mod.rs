@@ -1,0 +1,12 @@
+//! One module per table/figure of the paper's §7 evaluation.
+
+pub mod fig10_scalability;
+pub mod fig11_cache;
+pub mod fig12_simd;
+pub mod fig13_gpu;
+pub mod fig14_filtering;
+pub mod fig15_filtering_systems;
+pub mod fig16_multivector;
+pub mod fig8_ivf;
+pub mod fig9_hnsw;
+pub mod table1;

@@ -1,0 +1,65 @@
+//! Table 1: the system functionality matrix, printed from live capability
+//! introspection of this system and each implemented baseline.
+
+use milvus_baselines::{
+    FaissLikeEngine, RelationalLikeEngine, SptagLikeEngine, VearchLikeEngine,
+};
+use milvus_core::Capabilities;
+use serde_json::json;
+
+use crate::util::banner;
+
+/// All capability rows.
+pub fn rows() -> Vec<Capabilities> {
+    vec![
+        FaissLikeEngine::capabilities(),
+        SptagLikeEngine::capabilities(),
+        VearchLikeEngine::capabilities(),
+        RelationalLikeEngine::capabilities(),
+        Capabilities::milvus(),
+    ]
+}
+
+/// Print the matrix and return it as JSON.
+pub fn run() -> serde_json::Value {
+    banner("Table 1: system comparison (functionality matrix)");
+    println!("{}", Capabilities::header());
+    let rows = rows();
+    for r in &rows {
+        println!("{}", r.row());
+    }
+    json!(rows
+        .iter()
+        .map(|r| json!({
+            "system": r.system,
+            "billion_scale": r.billion_scale,
+            "dynamic_data": r.dynamic_data,
+            "gpu": r.gpu,
+            "attribute_filtering": r.attribute_filtering,
+            "multi_vector_query": r.multi_vector_query,
+            "distributed": r.distributed,
+        }))
+        .collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn only_milvus_has_every_column() {
+        let rows = super::rows();
+        let full: Vec<&str> = rows
+            .iter()
+            .filter(|r| {
+                r.billion_scale
+                    && r.dynamic_data
+                    && r.gpu
+                    && r.attribute_filtering
+                    && r.multi_vector_query
+                    && r.distributed
+            })
+            .map(|r| r.system)
+            .collect();
+        assert_eq!(full.len(), 1);
+        assert!(full[0].contains("Milvus"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (§7). The `repro` binary drives the experiment modules; each
+//! module prints the same rows/series the paper reports and returns a JSON
+//! value the harness can persist for EXPERIMENTS.md.
+//!
+//! Absolute numbers differ from the paper (different hardware, simulated
+//! GPU/cluster, laptop-scale data); the *shape* — who wins, by what rough
+//! factor, where crossovers fall — is the reproduction target.
+
+pub mod experiments;
+pub mod util;
+
+pub use util::{Scale, Timer};

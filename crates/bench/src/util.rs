@@ -1,0 +1,81 @@
+//! Shared harness utilities: scales, timing, row emission.
+
+use std::time::{Duration, Instant};
+
+/// Experiment scale. The paper runs at 10 M–1 B vectors on a cluster; this
+/// harness runs laptop-scale equivalents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast smoke scale (CI-friendly, ~seconds per figure).
+    Quick,
+    /// Default scale (the numbers recorded in EXPERIMENTS.md).
+    Standard,
+}
+
+impl Scale {
+    /// Base dataset size for the system-comparison figures.
+    pub fn dataset_n(self) -> usize {
+        match self {
+            Scale::Quick => 10_000,
+            Scale::Standard => 60_000,
+        }
+    }
+
+    /// Query batch size for throughput measurements (paper uses 10 000).
+    pub fn query_m(self) -> usize {
+        match self {
+            Scale::Quick => 100,
+            Scale::Standard => 500,
+        }
+    }
+}
+
+/// Wall-clock timer.
+pub struct Timer(Instant);
+
+impl Timer {
+    /// Start timing.
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Elapsed duration.
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Elapsed seconds as f64.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// Queries per second given a batch of `m` queries taking `secs`.
+pub fn qps(m: usize, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        f64::INFINITY
+    } else {
+        m as f64 / secs
+    }
+}
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qps_math() {
+        assert_eq!(qps(100, 2.0), 50.0);
+        assert!(qps(1, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn scales_ordered() {
+        assert!(Scale::Quick.dataset_n() < Scale::Standard.dataset_n());
+    }
+}

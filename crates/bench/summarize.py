@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Digest results_standard.json into the headline factors EXPERIMENTS.md
+reports (who wins, by what factor, at comparable recall)."""
+import json
+import sys
+
+
+def best_qps_at(points, system, min_recall):
+    qs = [p["qps"] for p in points if p["system"] == system and p["recall"] >= min_recall]
+    return max(qs) if qs else None
+
+
+def fig_factor(points, base_sys, other_sys, min_recall):
+    a = best_qps_at(points, base_sys, min_recall)
+    b = best_qps_at(points, other_sys, min_recall)
+    if a and b:
+        return a / b
+    return None
+
+
+def main(path):
+    data = json.load(open(path))
+
+    print("== Figure 8 (IVF) factors at recall >= 0.9 ==")
+    for panel in ("sift", "deep"):
+        pts = data["fig8"][panel]
+        milvus = "Milvus_IVF_FLAT"
+        for other in [
+            "Vearch-like",
+            "SPTAG-like",
+            "System B (relational brute force)",
+            "System C (scalar IVF)",
+        ]:
+            thr = 0.9 if panel == "sift" else 0.85
+            f = fig_factor(pts, milvus, other, thr)
+            print(f"  {panel}: Milvus vs {other}: {f:.1f}x" if f else f"  {panel}: {other}: n/a")
+        gpu = fig_factor(pts, "Milvus_GPU_SQ8H", milvus, 0.9 if panel == "sift" else 0.85)
+        if gpu:
+            print(f"  {panel}: GPU_SQ8H vs CPU IVF_FLAT: {gpu:.1f}x")
+
+    print("== Figure 9 (HNSW) factors at recall >= 0.9 ==")
+    for panel in ("sift", "deep"):
+        pts = data["fig9"][panel]
+        for other in [
+            "System A (scalar HNSW)",
+            "Vearch-like (fragmented HNSW)",
+            "System C (row-store HNSW)",
+        ]:
+            f = fig_factor(pts, "Milvus_HNSW", other, 0.9)
+            print(f"  {panel}: Milvus vs {other}: {f:.1f}x" if f else f"  {panel}: {other}: n/a")
+
+    print("== Figure 10 ==")
+    for row in data["fig10"]["fig10a"]:
+        print(f"  10a n={row['n']}: {row['qps']:.0f} QPS")
+    for row in data["fig10"]["fig10b"]:
+        print(f"  10b nodes={row['nodes']}: {row['qps']:.0f} QPS (sim)")
+
+    print("== Figure 11 cache-aware speedups ==")
+    for row in data["fig11"]:
+        print(f"  L3={row['l3']} n={row['n']}: {row['speedup']:.2f}x (s={row['block_s']})")
+
+    print("== Figure 12 AVX512 vs AVX2 ==")
+    for row in data["fig12"]:
+        print(
+            f"  n={row['n']}: avx512 {row['avx512_speedup_over_avx2']:.2f}x avx2; "
+            f"avx2 {row['scalar_s']/row['avx2_s']:.2f}x scalar"
+        )
+
+    print("== Figure 13 (seconds) ==")
+    for row in data["fig13"]:
+        print(
+            f"  batch={row['batch']}: cpu {row['pure_cpu_s']:.4f} gpu {row['pure_gpu_s']:.4f} "
+            f"sq8h {row['sq8h_s']:.4f}"
+        )
+
+    print("== Figure 14: strategy E vs D speedup ==")
+    for setting in data["fig14"]:
+        for row in setting:
+            if row["E_s"] > 0:
+                print(
+                    f"  {row['setting']} sel={row['selectivity']}: D/E = {row['D_s']/row['E_s']:.2f}x, "
+                    f"best-fixed/E = {min(row['A_s'], row['B_s'], row['C_s'])/row['E_s']:.2f}x"
+                )
+
+    print("== Figure 15: Milvus E vs systems ==")
+    for row in data["fig15"]:
+        m = row["milvus_e_s"]
+        if m > 0:
+            print(
+                f"  sel={row['selectivity']}: vearch {row['vearch_like_s']/m:.1f}x, "
+                f"relational {row['relational_s']/m:.1f}x"
+            )
+
+    print("== Figure 16 ==")
+    for row in data["fig16"]["fig16a"]:
+        print(f"  16a {row['method']}: recall {row['recall']:.3f}, {row['qps']:.1f} QPS")
+    for row in data["fig16"]["fig16b"]:
+        print(f"  16b {row['method']}: recall {row['recall']:.3f}, {row['qps']:.1f} QPS")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "results_standard.json")

@@ -1,0 +1,571 @@
+//! Collections: the user-facing unit of data management (§2.1).
+//!
+//! A collection holds entities (one or more vectors + numeric attributes),
+//! supports dynamic inserts/deletes through the asynchronous LSM pipeline,
+//! and answers the paper's three primitive query types: vector query,
+//! attribute filtering, and multi-vector query.
+
+use std::sync::Arc;
+
+use milvus_index::registry::IndexRegistry;
+use milvus_index::traits::SearchParams;
+use milvus_index::{Metric, Neighbor, VectorSet};
+use milvus_query::filtering::RangePredicate;
+use milvus_query::multivector::MultiVectorEngine;
+use milvus_storage::object_store::ObjectStore;
+use milvus_storage::segment::merge_segment_results;
+use milvus_storage::snapshot::Snapshot;
+use milvus_storage::{InsertBatch, LsmEngine, Schema};
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::CollectionConfig;
+use crate::error::{MilvusError, Result};
+use crate::ingest::AsyncIngest;
+
+/// One search result with the user-facing score (similarities un-negated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// Entity id.
+    pub id: i64,
+    /// Raw metric value: distance for L2/Hamming…, similarity for IP/cosine.
+    pub score: f32,
+    /// Internal distance (smaller = better), useful for merging.
+    pub distance: f32,
+}
+
+/// A fully materialized entity (for point lookups).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityView {
+    /// Entity id.
+    pub id: i64,
+    /// One vector per schema vector field.
+    pub vectors: Vec<Vec<f32>>,
+    /// One value per schema attribute field.
+    pub attributes: Vec<f64>,
+}
+
+/// Summary statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectionStats {
+    /// Flushed segments in the current snapshot.
+    pub segments: usize,
+    /// Live (non-tombstoned) rows across segments.
+    pub live_rows: usize,
+    /// Rows buffered in the memtable.
+    pub pending_rows: usize,
+    /// Segments carrying an index on at least one vector field.
+    pub indexed_segments: usize,
+    /// Approximate resident bytes of all segments.
+    pub memory_bytes: usize,
+}
+
+/// A named collection of entities.
+pub struct Collection {
+    name: String,
+    schema: Schema,
+    config: CollectionConfig,
+    engine: Arc<LsmEngine>,
+    registry: IndexRegistry,
+    ingest: AsyncIngest,
+    inflight_builds: Arc<(Mutex<usize>, Condvar)>,
+}
+
+impl Collection {
+    /// Open (or recover, when a WAL path exists) a collection.
+    pub fn open(
+        name: String,
+        schema: Schema,
+        config: CollectionConfig,
+        store: Arc<dyn ObjectStore>,
+        registry: IndexRegistry,
+    ) -> Result<Self> {
+        schema.validate()?;
+        let engine = match &config.wal_path {
+            Some(path) if path.exists() => Arc::new(LsmEngine::recover(
+                schema.clone(),
+                config.lsm.clone(),
+                store,
+                path,
+            )?),
+            Some(path) => {
+                Arc::new(LsmEngine::new(schema.clone(), config.lsm.clone(), store, Some(path))?)
+            }
+            None => Arc::new(LsmEngine::new(schema.clone(), config.lsm.clone(), store, None)?),
+        };
+        let ingest = AsyncIngest::start(Arc::clone(&engine), config.flush_interval);
+        Ok(Self {
+            name,
+            schema,
+            config,
+            engine,
+            registry,
+            ingest,
+            inflight_builds: Arc::new((Mutex::new(0), Condvar::new())),
+        })
+    }
+
+    /// Collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The underlying engine (used by the distributed layer).
+    pub fn engine(&self) -> &Arc<LsmEngine> {
+        &self.engine
+    }
+
+    /// Insert entities (asynchronous: acknowledged after the WAL append;
+    /// visible to search after the next flush, §5.1).
+    pub fn insert(&self, batch: InsertBatch) -> Result<()> {
+        self.ingest.insert(batch)
+    }
+
+    /// Delete entities by id (out-of-place tombstones, §2.3).
+    pub fn delete(&self, ids: Vec<i64>) -> Result<()> {
+        self.ingest.delete(ids)
+    }
+
+    /// Block until all pending operations are applied and flushed (§5.1),
+    /// then run the auto-index policy.
+    pub fn flush(&self) -> Result<()> {
+        self.ingest.flush()?;
+        if self.config.auto_index_type.is_some() {
+            self.ensure_indexes()?;
+        }
+        Ok(())
+    }
+
+    /// Pin the current snapshot (§5.2).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.engine.snapshot()
+    }
+
+    /// Live entities visible to search.
+    pub fn num_entities(&self) -> usize {
+        self.engine.snapshot().live_rows()
+    }
+
+    /// Collection statistics.
+    pub fn stats(&self) -> CollectionStats {
+        let snap = self.engine.snapshot();
+        let indexed = snap
+            .segments
+            .iter()
+            .filter(|s| self.schema.vector_fields.iter().any(|f| s.index(&f.name).is_some()))
+            .count();
+        CollectionStats {
+            segments: snap.segments.len(),
+            live_rows: snap.live_rows(),
+            pending_rows: self.engine.pending_rows(),
+            indexed_segments: indexed,
+            memory_bytes: snap.segments.iter().map(|s| s.memory_bytes()).sum(),
+        }
+    }
+
+    fn metric_of(&self, field: &str) -> Result<Metric> {
+        self.schema
+            .vector_fields
+            .iter()
+            .find(|f| f.name == field)
+            .map(|f| f.metric)
+            .ok_or_else(|| MilvusError::NoSuchField(field.to_string()))
+    }
+
+    fn to_hits(&self, metric: Metric, neighbors: Vec<Neighbor>) -> Vec<SearchHit> {
+        neighbors
+            .into_iter()
+            .map(|n| SearchHit { id: n.id, score: metric.display_score(n.dist), distance: n.dist })
+            .collect()
+    }
+
+    /// Vector query (§2.1): top-k over `field` across all segments of the
+    /// query's snapshot, merged.
+    pub fn search(&self, field: &str, query: &[f32], params: &SearchParams) -> Result<Vec<SearchHit>> {
+        let metric = self.metric_of(field)?;
+        let snap = self.engine.snapshot();
+        let mut lists = Vec::with_capacity(snap.segments.len());
+        for seg in &snap.segments {
+            lists.push(seg.search_field(&self.schema, field, query, params, None)?);
+        }
+        Ok(self.to_hits(metric, merge_segment_results(&lists, params.k)))
+    }
+
+    /// Batch vector query: one result list per query.
+    pub fn search_batch(
+        &self,
+        field: &str,
+        queries: &VectorSet,
+        params: &SearchParams,
+    ) -> Result<Vec<Vec<SearchHit>>> {
+        (0..queries.len()).map(|i| self.search(field, queries.get(i), params)).collect()
+    }
+
+    /// Attribute filtering (§2.1, §4.1): top-k under `attr ∈ [lo, hi]`.
+    ///
+    /// Per segment this picks between the attribute-first exact scan
+    /// (strategy A) and the bitmap-filtered index search (strategy B) with a
+    /// simple cost rule; the full strategy suite incl. partition-based E
+    /// lives in `milvus-query` and is exercised by the benchmarks.
+    pub fn filtered_search(
+        &self,
+        field: &str,
+        query: &[f32],
+        attr: &str,
+        lo: f64,
+        hi: f64,
+        params: &SearchParams,
+    ) -> Result<Vec<SearchHit>> {
+        let metric = self.metric_of(field)?;
+        let ai = self
+            .schema
+            .attribute_index(attr)
+            .ok_or_else(|| MilvusError::NoSuchAttribute(attr.to_string()))?;
+        let pred = RangePredicate::new(lo, hi);
+        let snap = self.engine.snapshot();
+        let mut lists = Vec::with_capacity(snap.segments.len());
+        for seg in &snap.segments {
+            let column = &seg.data().attributes[ai];
+            let passing = column.count_range(pred.lo, pred.hi);
+            if passing == 0 {
+                continue;
+            }
+            let rows: std::collections::HashSet<i64> =
+                column.range_rows(pred.lo, pred.hi).into_iter().collect();
+            // Cost rule: highly selective predicate → exact scan of passers
+            // (A); otherwise filtered index search (B).
+            let list = if passing <= params.k * 8 || seg.index(field).is_none() {
+                let mut heap = milvus_index::TopK::new(params.k.max(1));
+                for &id in &rows {
+                    if seg.is_deleted(id) {
+                        continue;
+                    }
+                    let row = seg
+                        .data()
+                        .row_ids
+                        .binary_search(&id)
+                        .expect("column ids exist in segment");
+                    let v = seg.data().vectors[self
+                        .schema
+                        .vector_field_index(field)
+                        .expect("checked by metric_of")]
+                    .get(row);
+                    heap.push(id, milvus_index::distance::distance(metric, query, v));
+                }
+                heap.into_sorted()
+            } else {
+                seg.search_field(&self.schema, field, query, params, Some(&|id| rows.contains(&id)))?
+            };
+            lists.push(list);
+        }
+        Ok(self.to_hits(metric, merge_segment_results(&lists, params.k)))
+    }
+
+    /// Materialize one entity.
+    pub fn get_entity(&self, id: i64) -> Option<EntityView> {
+        let snap = self.engine.snapshot();
+        let seg = snap.locate(id)?;
+        let row = seg.data().row_ids.binary_search(&id).ok()?;
+        let vectors = seg.data().vectors.iter().map(|col| col.get(row).to_vec()).collect();
+        let attributes = seg
+            .data()
+            .attributes
+            .iter()
+            .map(|col| col.value_of(id).expect("attribute present for live row"))
+            .collect();
+        Some(EntityView { id, vectors, attributes })
+    }
+
+    /// Build an index of `index_type` on `field` for **every** segment
+    /// ("users are allowed to manually build indexes for segments of any
+    /// size", §2.3). Synchronous.
+    pub fn build_index(&self, field: &str, index_type: &str) -> Result<usize> {
+        self.metric_of(field)?;
+        let snap = self.engine.snapshot();
+        let mut built = 0;
+        for seg in &snap.segments {
+            if seg.index(field).is_none() && seg.live_rows() > 0 {
+                let next = seg.build_index(
+                    &self.schema,
+                    field,
+                    index_type,
+                    &self.registry,
+                    &self.config.build_params,
+                )?;
+                if self.engine.replace_segment(Arc::new(next))? {
+                    built += 1;
+                }
+            }
+        }
+        Ok(built)
+    }
+
+    /// Build an index asynchronously (§5.1: "Milvus builds indexes
+    /// asynchronously"); pair with [`Collection::wait_for_index_builds`].
+    pub fn build_index_async(self: &Arc<Self>, field: String, index_type: String) {
+        let this = Arc::clone(self);
+        {
+            let (count, _) = &*self.inflight_builds;
+            *count.lock() += 1;
+        }
+        std::thread::spawn(move || {
+            let _ = this.build_index(&field, &index_type);
+            let (count, cv) = &*this.inflight_builds;
+            *count.lock() -= 1;
+            cv.notify_all();
+        });
+    }
+
+    /// Block until no asynchronous index builds are in flight.
+    pub fn wait_for_index_builds(&self) {
+        let (count, cv) = &*self.inflight_builds;
+        let mut guard = count.lock();
+        while *guard > 0 {
+            cv.wait(&mut guard);
+        }
+    }
+
+    /// The §2.3 auto-index policy: index every vector field of segments
+    /// whose payload is at least `index_threshold_bytes`.
+    pub fn ensure_indexes(&self) -> Result<usize> {
+        let Some(index_type) = self.config.auto_index_type.clone() else {
+            return Ok(0);
+        };
+        let snap = self.engine.snapshot();
+        let mut built = 0;
+        for seg in &snap.segments {
+            if seg.data().memory_bytes() < self.config.index_threshold_bytes
+                || seg.live_rows() == 0
+            {
+                continue;
+            }
+            for vf in &self.schema.vector_fields {
+                if seg.index(&vf.name).is_none() {
+                    let next = seg.build_index(
+                        &self.schema,
+                        &vf.name,
+                        &index_type,
+                        &self.registry,
+                        &self.config.build_params,
+                    )?;
+                    if self.engine.replace_segment(Arc::new(next))? {
+                        built += 1;
+                    }
+                }
+            }
+        }
+        Ok(built)
+    }
+
+    /// Construct a multi-vector query engine (§4.2) over the current
+    /// snapshot. `weights` aggregates per-field internal distances by
+    /// weighted sum; `with_fusion` additionally builds the concatenated
+    /// fusion index (decomposable metrics only).
+    pub fn multivector_engine(
+        &self,
+        index_type: &str,
+        weights: Vec<f32>,
+        with_fusion: bool,
+    ) -> Result<MultiVectorEngine> {
+        let snap = self.engine.snapshot();
+        let mut fields: Vec<VectorSet> =
+            self.schema.vector_fields.iter().map(|f| VectorSet::new(f.dim)).collect();
+        let mut ids = Vec::new();
+        for seg in &snap.segments {
+            for (row, &id) in seg.data().row_ids.iter().enumerate() {
+                if seg.is_deleted(id) {
+                    continue;
+                }
+                ids.push(id);
+                for (field, col) in fields.iter_mut().zip(&seg.data().vectors) {
+                    field.push(col.get(row));
+                }
+            }
+        }
+        let metric = self.schema.vector_fields[0].metric;
+        Ok(MultiVectorEngine::build(
+            metric,
+            fields,
+            ids,
+            weights,
+            index_type,
+            &self.registry,
+            &self.config.build_params,
+            with_fusion,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milvus_storage::object_store::MemoryStore;
+
+    fn collection(schema: Schema, config: CollectionConfig) -> Collection {
+        Collection::open(
+            "test".into(),
+            schema,
+            config,
+            Arc::new(MemoryStore::new()),
+            IndexRegistry::with_builtins(),
+        )
+        .unwrap()
+    }
+
+    fn single_schema() -> Schema {
+        Schema::single("v", 2, Metric::L2).with_attribute("price")
+    }
+
+    fn batch(ids: Vec<i64>) -> InsertBatch {
+        let mut vs = VectorSet::new(2);
+        let mut attrs = Vec::new();
+        for &id in &ids {
+            vs.push(&[id as f32, 0.0]);
+            attrs.push(id as f64 * 10.0);
+        }
+        InsertBatch { ids, vectors: vec![vs], attributes: vec![attrs] }
+    }
+
+    #[test]
+    fn insert_flush_search() {
+        let c = collection(single_schema(), CollectionConfig::for_tests());
+        c.insert(batch((0..50).collect())).unwrap();
+        assert_eq!(c.num_entities(), 0); // async visibility
+        c.flush().unwrap();
+        assert_eq!(c.num_entities(), 50);
+        let hits = c.search("v", &[10.2, 0.0], &SearchParams::top_k(3)).unwrap();
+        assert_eq!(hits[0].id, 10);
+        assert!(hits[0].score >= 0.0);
+    }
+
+    #[test]
+    fn delete_then_search_excludes() {
+        let c = collection(single_schema(), CollectionConfig::for_tests());
+        c.insert(batch((0..20).collect())).unwrap();
+        c.flush().unwrap();
+        c.delete(vec![5]).unwrap();
+        c.flush().unwrap();
+        let hits = c.search("v", &[5.0, 0.0], &SearchParams::top_k(1)).unwrap();
+        assert_ne!(hits[0].id, 5);
+        assert_eq!(c.num_entities(), 19);
+    }
+
+    #[test]
+    fn filtered_search_honors_range() {
+        let c = collection(single_schema(), CollectionConfig::for_tests());
+        c.insert(batch((0..100).collect())).unwrap();
+        c.flush().unwrap();
+        // price = id*10; want price in [100, 300] → ids 10..=30.
+        let hits = c
+            .filtered_search("v", &[0.0, 0.0], "price", 100.0, 300.0, &SearchParams::top_k(5))
+            .unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| (10..=30).contains(&h.id)), "{hits:?}");
+        // Nearest passing entity to origin is id 10.
+        assert_eq!(hits[0].id, 10);
+    }
+
+    #[test]
+    fn filtered_search_unknown_attribute_errors() {
+        let c = collection(single_schema(), CollectionConfig::for_tests());
+        assert!(matches!(
+            c.filtered_search("v", &[0.0, 0.0], "nope", 0.0, 1.0, &SearchParams::top_k(1)),
+            Err(MilvusError::NoSuchAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn get_entity_roundtrip() {
+        let c = collection(single_schema(), CollectionConfig::for_tests());
+        c.insert(batch(vec![7, 8])).unwrap();
+        c.flush().unwrap();
+        let e = c.get_entity(7).unwrap();
+        assert_eq!(e.vectors[0], vec![7.0, 0.0]);
+        assert_eq!(e.attributes[0], 70.0);
+        assert!(c.get_entity(99).is_none());
+    }
+
+    #[test]
+    fn manual_index_build_and_search() {
+        let c = collection(single_schema(), CollectionConfig::for_tests());
+        c.insert(batch((0..200).collect())).unwrap();
+        c.flush().unwrap();
+        let built = c.build_index("v", "IVF_FLAT").unwrap();
+        assert_eq!(built, 1);
+        assert_eq!(c.stats().indexed_segments, 1);
+        let sp = SearchParams { k: 3, nprobe: 16, ..Default::default() };
+        let hits = c.search("v", &[42.0, 0.0], &sp).unwrap();
+        assert_eq!(hits[0].id, 42);
+    }
+
+    #[test]
+    fn auto_index_policy_respects_threshold() {
+        let mut cfg = CollectionConfig::for_tests();
+        cfg.auto_index_type = Some("IVF_FLAT".into());
+        cfg.index_threshold_bytes = 1; // everything qualifies
+        let c = collection(single_schema(), cfg);
+        c.insert(batch((0..100).collect())).unwrap();
+        c.flush().unwrap();
+        assert_eq!(c.stats().indexed_segments, 1);
+    }
+
+    #[test]
+    fn async_index_build() {
+        let c = Arc::new(collection(single_schema(), CollectionConfig::for_tests()));
+        c.insert(batch((0..100).collect())).unwrap();
+        c.flush().unwrap();
+        c.build_index_async("v".into(), "HNSW".into());
+        c.wait_for_index_builds();
+        assert_eq!(c.stats().indexed_segments, 1);
+    }
+
+    #[test]
+    fn multi_vector_collection_end_to_end() {
+        let schema = Schema::single("text", 4, Metric::L2).with_vector_field("image", 3, Metric::L2);
+        let c = collection(schema, CollectionConfig::for_tests());
+        let n = 60usize;
+        let mut text = VectorSet::new(4);
+        let mut image = VectorSet::new(3);
+        for i in 0..n {
+            text.push(&[i as f32, 0.0, 0.0, 0.0]);
+            image.push(&[0.0, i as f32, 0.0]);
+        }
+        let b = InsertBatch {
+            ids: (0..n as i64).collect(),
+            vectors: vec![text, image],
+            attributes: vec![],
+        };
+        c.insert(b).unwrap();
+        c.flush().unwrap();
+        let engine = c.multivector_engine("FLAT", vec![0.5, 0.5], false).unwrap();
+        let q0 = [30.0f32, 0.0, 0.0, 0.0];
+        let q1 = [0.0f32, 30.0, 0.0];
+        let res = engine.exact(&[&q0, &q1], 1).unwrap();
+        assert_eq!(res[0].id, 30);
+    }
+
+    #[test]
+    fn search_spans_multiple_segments() {
+        let c = collection(single_schema(), CollectionConfig::for_tests());
+        c.insert(batch((0..30).collect())).unwrap();
+        c.flush().unwrap();
+        c.insert(batch((30..60).collect())).unwrap();
+        c.flush().unwrap();
+        assert_eq!(c.stats().segments, 2);
+        let hits = c.search("v", &[45.0, 0.0], &SearchParams::top_k(1)).unwrap();
+        assert_eq!(hits[0].id, 45);
+    }
+
+    #[test]
+    fn unknown_field_errors() {
+        let c = collection(single_schema(), CollectionConfig::for_tests());
+        assert!(matches!(
+            c.search("missing", &[0.0, 0.0], &SearchParams::top_k(1)),
+            Err(MilvusError::NoSuchField(_))
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! Collection configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use milvus_storage::LsmConfig;
+
+/// Tuning for one collection.
+#[derive(Debug, Clone)]
+pub struct CollectionConfig {
+    /// Storage-engine knobs (flush threshold, merge policy…).
+    pub lsm: LsmConfig,
+    /// Index type built automatically on large segments (§2.3; `None`
+    /// disables auto-indexing).
+    pub auto_index_type: Option<String>,
+    /// Segments at or above this payload size get the automatic index
+    /// ("By default, Milvus builds indexes only for large segments (e.g.,
+    /// > 1GB)"). Scaled down by default so tests exercise the policy.
+    pub index_threshold_bytes: usize,
+    /// Background flush cadence (§2.3: "once every second").
+    pub flush_interval: Duration,
+    /// WAL file path; `None` runs without durability (ephemeral readers).
+    pub wal_path: Option<PathBuf>,
+    /// Index build parameters (nlist, HNSW M, seeds…).
+    pub build_params: milvus_index::BuildParams,
+}
+
+impl Default for CollectionConfig {
+    fn default() -> Self {
+        Self {
+            lsm: LsmConfig::default(),
+            auto_index_type: Some("IVF_FLAT".to_string()),
+            index_threshold_bytes: 1 << 20,
+            flush_interval: Duration::from_secs(1),
+            wal_path: None,
+            build_params: milvus_index::BuildParams::default(),
+        }
+    }
+}
+
+impl CollectionConfig {
+    /// Config suited to small unit tests: tiny flush threshold, no timer.
+    pub fn for_tests() -> Self {
+        Self {
+            lsm: LsmConfig {
+                flush_threshold_bytes: 1 << 20,
+                auto_merge: false,
+                ..Default::default()
+            },
+            auto_index_type: None,
+            index_threshold_bytes: usize::MAX,
+            flush_interval: Duration::from_secs(3600),
+            wal_path: None,
+            build_params: milvus_index::BuildParams {
+                nlist: 16,
+                kmeans_iters: 5,
+                ..Default::default()
+            },
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for the system facade.
+
+use thiserror::Error;
+
+/// Errors produced by the milvus-core layer.
+#[derive(Debug, Error)]
+pub enum MilvusError {
+    /// A collection with this name already exists.
+    #[error("collection already exists: {0}")]
+    CollectionExists(String),
+
+    /// No collection with this name.
+    #[error("no such collection: {0}")]
+    NoSuchCollection(String),
+
+    /// No vector field with this name in the schema.
+    #[error("no such vector field: {0}")]
+    NoSuchField(String),
+
+    /// No attribute field with this name in the schema.
+    #[error("no such attribute: {0}")]
+    NoSuchAttribute(String),
+
+    /// The ingestion worker is no longer running.
+    #[error("ingest worker stopped")]
+    IngestStopped,
+
+    /// Bubbled up from the storage layer.
+    #[error("storage error: {0}")]
+    Storage(#[from] milvus_storage::StorageError),
+
+    /// Bubbled up from the index layer.
+    #[error("index error: {0}")]
+    Index(#[from] milvus_index::IndexError),
+
+    /// Bubbled up from the query layer.
+    #[error("query error: {0}")]
+    Query(#[from] milvus_query::QueryError),
+}
+
+/// Convenience alias used throughout milvus-core.
+pub type Result<T> = std::result::Result<T, MilvusError>;

@@ -1,0 +1,171 @@
+//! `milvus-core`: the full vector data management system facade (paper §2).
+//!
+//! This crate assembles the substrates into the system a user actually
+//! programs against:
+//!
+//! * [`Milvus`] — the top-level instance managing named collections (the
+//!   SDK entry point of §2.1);
+//! * [`Collection`] — entities with one or more vector fields and numeric
+//!   attributes, dynamic inserts/deletes over the LSM storage engine,
+//!   snapshot-isolated reads, asynchronous ingestion with a `flush()`
+//!   barrier (§5.1), asynchronous index builds with the large-segment
+//!   auto-index policy (§2.3), and the three primitive query types of §2.1:
+//!   **vector query**, **attribute filtering** and **multi-vector query**;
+//! * [`capabilities::Capabilities`] — the Table 1 functionality matrix.
+
+pub mod capabilities;
+pub mod collection;
+pub mod config;
+pub mod error;
+pub mod ingest;
+pub mod rest;
+
+pub use capabilities::Capabilities;
+pub use collection::{Collection, EntityView, SearchHit};
+pub use config::CollectionConfig;
+pub use error::{MilvusError, Result};
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use milvus_index::registry::IndexRegistry;
+use milvus_storage::object_store::{MemoryStore, ObjectStore};
+use milvus_storage::Schema;
+use parking_lot::RwLock;
+
+/// A Milvus instance: a set of named collections over a shared object store.
+pub struct Milvus {
+    store: Arc<dyn ObjectStore>,
+    registry: IndexRegistry,
+    collections: RwLock<HashMap<String, Arc<Collection>>>,
+}
+
+impl Default for Milvus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Milvus {
+    /// An in-memory instance (simulated S3 backend).
+    pub fn new() -> Self {
+        Self::with_store(Arc::new(MemoryStore::new()))
+    }
+
+    /// An instance over an explicit object store (local FS, shared store…).
+    pub fn with_store(store: Arc<dyn ObjectStore>) -> Self {
+        Self {
+            store,
+            registry: IndexRegistry::with_builtins(),
+            collections: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The index registry (extensible, §2.2) — register custom index types
+    /// here before creating collections.
+    pub fn registry(&self) -> &IndexRegistry {
+        &self.registry
+    }
+
+    /// Attach a (simulated) GPU device and register the SQ8H hybrid index
+    /// type (§3.4), making `"SQ8H"` usable in `build_index` and
+    /// `auto_index_type`.
+    pub fn enable_gpu(&self, device: Arc<milvus_gpu::GpuDevice>) {
+        self.registry.register(Arc::new(milvus_gpu::sq8h::Sq8hBuilder { device }));
+    }
+
+    /// Create a collection; errors if the name exists.
+    pub fn create_collection(
+        &self,
+        name: &str,
+        schema: Schema,
+        config: CollectionConfig,
+    ) -> Result<Arc<Collection>> {
+        let mut cols = self.collections.write();
+        if cols.contains_key(name) {
+            return Err(MilvusError::CollectionExists(name.to_string()));
+        }
+        let col = Arc::new(Collection::open(
+            name.to_string(),
+            schema,
+            config,
+            Arc::clone(&self.store),
+            self.registry.clone(),
+        )?);
+        cols.insert(name.to_string(), Arc::clone(&col));
+        Ok(col)
+    }
+
+    /// Look up a collection.
+    pub fn collection(&self, name: &str) -> Result<Arc<Collection>> {
+        self.collections
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| MilvusError::NoSuchCollection(name.to_string()))
+    }
+
+    /// Drop a collection; returns true if it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.write().remove(name).is_some()
+    }
+
+    /// Names of all collections, sorted.
+    pub fn list_collections(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.collections.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milvus_index::Metric;
+
+    #[test]
+    fn gpu_index_type_via_facade() {
+        use milvus_gpu::{GpuDevice, GpuSpec};
+        use milvus_index::traits::SearchParams;
+        use milvus_index::VectorSet;
+        use milvus_storage::InsertBatch;
+
+        let m = Milvus::new();
+        m.enable_gpu(Arc::new(GpuDevice::new(0, GpuSpec::default())));
+        assert!(m.registry().contains("SQ8H"));
+
+        let col = m
+            .create_collection(
+                "gpu",
+                Schema::single("v", 4, Metric::L2),
+                CollectionConfig::for_tests(),
+            )
+            .unwrap();
+        let mut vs = VectorSet::new(4);
+        for i in 0..200 {
+            vs.push(&[i as f32, 0.0, 0.0, 0.0]);
+        }
+        col.insert(InsertBatch::single((0..200).collect(), vs)).unwrap();
+        col.flush().unwrap();
+        col.build_index("v", "SQ8H").unwrap();
+        let sp = SearchParams { k: 3, nprobe: 8, ..Default::default() };
+        let hits = col.search("v", &[50.0, 0.0, 0.0, 0.0], &sp).unwrap();
+        assert_eq!(hits[0].id, 50);
+    }
+
+    #[test]
+    fn collection_lifecycle() {
+        let m = Milvus::new();
+        let schema = Schema::single("v", 4, Metric::L2);
+        m.create_collection("images", schema.clone(), CollectionConfig::default()).unwrap();
+        assert!(m.collection("images").is_ok());
+        assert!(matches!(
+            m.create_collection("images", schema, CollectionConfig::default()),
+            Err(MilvusError::CollectionExists(_))
+        ));
+        assert_eq!(m.list_collections(), vec!["images".to_string()]);
+        assert!(m.drop_collection("images"));
+        assert!(!m.drop_collection("images"));
+        assert!(matches!(m.collection("images"), Err(MilvusError::NoSuchCollection(_))));
+    }
+}

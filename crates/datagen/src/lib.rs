@@ -1,0 +1,279 @@
+//! Workload generators and ground truth for the benchmark harness (§7.1).
+//!
+//! The paper evaluates on SIFT1B (128-dim SIFT descriptors), Deep1B (96-dim
+//! L2-normalized CNN descriptors) and Recipe1M (two-vector text+image
+//! entities). None of those datasets are redistributable at laptop scale, so
+//! this crate generates **seeded synthetic equivalents** that preserve the
+//! properties the experiments exercise: dimensionality, cluster structure
+//! (so IVF bucket selectivity and graph navigability behave realistically),
+//! value ranges (SIFT is non-negative and byte-bounded), normalization
+//! (Deep), and cross-modal correlation (Recipe). Exact ground truth is
+//! computed with a parallel brute-force scan.
+
+use milvus_index::{distance, Metric, Neighbor, TopK, VectorSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Standard Gaussian via Box–Muller (avoids a rand_distr dependency).
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Generic clustered generator: `n` points of `dim` dimensions drawn around
+/// `n_clusters` uniform centers in `[lo, hi]` with Gaussian `spread`.
+pub fn clustered(
+    n: usize,
+    dim: usize,
+    n_clusters: usize,
+    lo: f32,
+    hi: f32,
+    spread: f32,
+    seed: u64,
+) -> VectorSet {
+    assert!(n_clusters > 0, "need at least one cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..n_clusters)
+        .map(|_| (0..dim).map(|_| rng.gen_range(lo..hi)).collect())
+        .collect();
+    let mut vs = VectorSet::with_capacity(dim, n);
+    for i in 0..n {
+        let c = &centers[i % n_clusters];
+        let v: Vec<f32> = c
+            .iter()
+            .map(|&x| (x + gaussian(&mut rng) * spread).clamp(lo, hi))
+            .collect();
+        vs.push(&v);
+    }
+    vs
+}
+
+/// SIFT-like data: 128-dim, non-negative, byte-bounded, clustered.
+pub fn sift_like(n: usize, seed: u64) -> VectorSet {
+    let n_clusters = (n / 100).clamp(16, 1024);
+    clustered(n, 128, n_clusters, 0.0, 218.0, 18.0, seed)
+}
+
+/// Deep-like data: 96-dim, L2-normalized Gaussian mixture.
+pub fn deep_like(n: usize, seed: u64) -> VectorSet {
+    let n_clusters = (n / 100).clamp(16, 1024);
+    let mut vs = clustered(n, 96, n_clusters, -1.0, 1.0, 0.25, seed);
+    for i in 0..vs.len() {
+        distance::normalize(vs.get_mut(i));
+    }
+    vs
+}
+
+/// Recipe-like two-vector entities: each entity's "text" and "image" vectors
+/// share a latent cluster, so cross-modal neighbors correlate (§7.6's
+/// Recipe1M analog). Returns `(text_vectors, image_vectors)`.
+pub fn recipe_like(
+    n: usize,
+    text_dim: usize,
+    image_dim: usize,
+    seed: u64,
+) -> (VectorSet, VectorSet) {
+    let n_clusters = (n / 100).clamp(8, 512);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let text_centers: Vec<Vec<f32>> = (0..n_clusters)
+        .map(|_| (0..text_dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let image_centers: Vec<Vec<f32>> = (0..n_clusters)
+        .map(|_| (0..image_dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let mut text = VectorSet::with_capacity(text_dim, n);
+    let mut image = VectorSet::with_capacity(image_dim, n);
+    for i in 0..n {
+        let c = i % n_clusters;
+        let t: Vec<f32> =
+            text_centers[c].iter().map(|&x| x + gaussian(&mut rng) * 0.2).collect();
+        let m: Vec<f32> =
+            image_centers[c].iter().map(|&x| x + gaussian(&mut rng) * 0.2).collect();
+        text.push(&t);
+        image.push(&m);
+    }
+    (text, image)
+}
+
+/// Query workload: perturbed copies of random data points (queries that have
+/// true near neighbors, like real query logs).
+pub fn queries_from(data: &VectorSet, m: usize, noise: f32, seed: u64) -> VectorSet {
+    assert!(!data.is_empty(), "need data to derive queries");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51EE);
+    let mut qs = VectorSet::with_capacity(data.dim(), m);
+    for _ in 0..m {
+        let base = data.get(rng.gen_range(0..data.len()));
+        let v: Vec<f32> = base.iter().map(|&x| x + gaussian(&mut rng) * noise).collect();
+        qs.push(&v);
+    }
+    qs
+}
+
+/// Uniform numeric attribute column in `[lo, hi)` (the §7.5 experiment
+/// augments each vector with a random value in 0..10000).
+pub fn attributes_uniform(n: usize, lo: f64, hi: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA77);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Exact top-k ids for every query (parallel brute force).
+pub fn ground_truth(
+    data: &VectorSet,
+    ids: &[i64],
+    queries: &VectorSet,
+    metric: Metric,
+    k: usize,
+) -> Vec<Vec<i64>> {
+    assert_eq!(data.len(), ids.len());
+    (0..queries.len())
+        .into_par_iter()
+        .map(|qi| {
+            let q = queries.get(qi);
+            let mut heap = TopK::new(k.max(1));
+            for (row, v) in data.iter().enumerate() {
+                heap.push(ids[row], distance::distance(metric, q, v));
+            }
+            heap.into_sorted().into_iter().map(|n| n.id).collect()
+        })
+        .collect()
+}
+
+/// Recall of `results` against `truth`: `|S ∩ S'| / |S|` averaged over
+/// queries (§7.1's definition).
+pub fn recall(truth: &[Vec<i64>], results: &[Vec<Neighbor>]) -> f32 {
+    assert_eq!(truth.len(), results.len());
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (t, r) in truth.iter().zip(results) {
+        let tset: std::collections::HashSet<i64> = t.iter().copied().collect();
+        hit += r.iter().filter(|n| tset.contains(&n.id)).count();
+        total += t.len();
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hit as f32 / total as f32
+    }
+}
+
+/// Recall over plain id lists (for callers that don't carry distances).
+pub fn recall_ids(truth: &[Vec<i64>], results: &[Vec<i64>]) -> f32 {
+    assert_eq!(truth.len(), results.len());
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (t, r) in truth.iter().zip(results) {
+        let tset: std::collections::HashSet<i64> = t.iter().copied().collect();
+        hit += r.iter().filter(|id| tset.contains(id)).count();
+        total += t.len();
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hit as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sift_like_properties() {
+        let d = sift_like(500, 1);
+        assert_eq!(d.dim(), 128);
+        assert_eq!(d.len(), 500);
+        for v in d.iter() {
+            for &x in v {
+                assert!((0.0..=218.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn deep_like_normalized() {
+        let d = deep_like(100, 2);
+        assert_eq!(d.dim(), 96);
+        for v in d.iter() {
+            let n = distance::norm_sq(v);
+            assert!((n - 1.0).abs() < 1e-3, "norm² {n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(sift_like(50, 9), sift_like(50, 9));
+        assert_ne!(sift_like(50, 9), sift_like(50, 10));
+    }
+
+    #[test]
+    fn queries_have_near_neighbors() {
+        let d = sift_like(300, 3);
+        let q = queries_from(&d, 10, 1.0, 4);
+        let ids: Vec<i64> = (0..300).collect();
+        let truth = ground_truth(&d, &ids, &q, Metric::L2, 1);
+        // With tiny noise the nearest neighbor must be very close.
+        for (qi, t) in truth.iter().enumerate() {
+            let row = ids.iter().position(|&i| i == t[0]).unwrap();
+            let dist = distance::l2_sq(q.get(qi), d.get(row));
+            assert!(dist < 128.0 * 25.0, "query {qi} too far: {dist}");
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_exact() {
+        let d = clustered(50, 4, 5, -1.0, 1.0, 0.1, 5);
+        let ids: Vec<i64> = (100..150).collect();
+        let q = queries_from(&d, 3, 0.01, 6);
+        let truth = ground_truth(&d, &ids, &q, Metric::L2, 5);
+        assert_eq!(truth.len(), 3);
+        for t in &truth {
+            assert_eq!(t.len(), 5);
+            assert!(t.iter().all(|&id| (100..150).contains(&id)));
+        }
+    }
+
+    #[test]
+    fn recall_metrics() {
+        let truth = vec![vec![1, 2, 3]];
+        let perfect = vec![vec![
+            Neighbor::new(1, 0.0),
+            Neighbor::new(2, 0.1),
+            Neighbor::new(3, 0.2),
+        ]];
+        assert_eq!(recall(&truth, &perfect), 1.0);
+        let partial = vec![vec![Neighbor::new(1, 0.0), Neighbor::new(9, 0.1)]];
+        assert!((recall(&truth, &partial) - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(recall_ids(&truth, &[vec![3, 2, 1]]), 1.0);
+    }
+
+    #[test]
+    fn recipe_vectors_correlated() {
+        let (text, image) = recipe_like(200, 16, 12, 7);
+        assert_eq!(text.len(), image.len());
+        assert_eq!(text.dim(), 16);
+        assert_eq!(image.dim(), 12);
+        // Same-cluster entities (i and i + n_clusters) are closer in text
+        // space than a cross-cluster pair, and likewise in image space.
+        let n_clusters = 8; // 200/100 clamped to 8
+        let same_t = distance::l2_sq(text.get(0), text.get(n_clusters));
+        let diff_t = distance::l2_sq(text.get(0), text.get(1));
+        assert!(same_t < diff_t, "text: same-cluster {same_t} vs cross {diff_t}");
+        let same_i = distance::l2_sq(image.get(0), image.get(n_clusters));
+        let diff_i = distance::l2_sq(image.get(0), image.get(1));
+        assert!(same_i < diff_i, "image: same-cluster {same_i} vs cross {diff_i}");
+    }
+
+    #[test]
+    fn attribute_column_in_range() {
+        let a = attributes_uniform(1000, 0.0, 10000.0, 8);
+        assert!(a.iter().all(|&x| (0.0..10000.0).contains(&x)));
+        // Roughly uniform: mean near 5000.
+        let mean = a.iter().sum::<f64>() / 1000.0;
+        assert!((mean - 5000.0).abs() < 600.0, "mean {mean}");
+    }
+}

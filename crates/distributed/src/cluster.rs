@@ -1,0 +1,266 @@
+//! The assembled distributed system (§5.3, Figure 5): coordinator + single
+//! writer + N stateless readers over one shared store, with K8s-style
+//! elasticity (add a reader, crash a reader, the replacement rebuilds from
+//! shared state).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use milvus_index::traits::SearchParams;
+use milvus_index::{Neighbor, VectorSet};
+use milvus_storage::object_store::ObjectStore;
+use milvus_storage::{InsertBatch, LsmConfig, Result as StorageResult, Schema};
+use parking_lot::RwLock;
+
+use crate::coordinator::Coordinator;
+use crate::reader::ReaderNode;
+use crate::writer::WriterNode;
+
+/// A whole cluster in-process.
+pub struct Cluster {
+    schema: Schema,
+    coordinator: Arc<Coordinator>,
+    shared: Arc<dyn ObjectStore>,
+    writer: WriterNode,
+    readers: RwLock<Vec<Arc<ReaderNode>>>,
+    reader_cache_bytes: usize,
+}
+
+impl Cluster {
+    /// Spin up a cluster with `shards` data shards and `readers` readers.
+    pub fn new(
+        schema: Schema,
+        shards: usize,
+        readers: usize,
+        shared: Arc<dyn ObjectStore>,
+        config: LsmConfig,
+    ) -> StorageResult<Self> {
+        let coordinator = Coordinator::new(shards);
+        let writer = WriterNode::new(
+            schema.clone(),
+            config,
+            Arc::clone(&shared),
+            Arc::clone(&coordinator),
+        )?;
+        let cluster = Self {
+            schema,
+            coordinator,
+            shared,
+            writer,
+            readers: RwLock::new(Vec::new()),
+            reader_cache_bytes: 256 << 20,
+        };
+        for _ in 0..readers {
+            cluster.add_reader()?;
+        }
+        Ok(cluster)
+    }
+
+    /// The coordinator (metadata inspection).
+    pub fn coordinator(&self) -> &Arc<Coordinator> {
+        &self.coordinator
+    }
+
+    /// The writer node.
+    pub fn writer(&self) -> &WriterNode {
+        &self.writer
+    }
+
+    /// Current readers.
+    pub fn readers(&self) -> Vec<Arc<ReaderNode>> {
+        self.readers.read().clone()
+    }
+
+    /// Number of reader instances.
+    pub fn reader_count(&self) -> usize {
+        self.readers.read().len()
+    }
+
+    /// Elastically add a reader (K8s scale-up); it immediately loads its
+    /// shards from shared storage, and existing readers drop/keep shards per
+    /// the updated ring.
+    pub fn add_reader(&self) -> StorageResult<Arc<ReaderNode>> {
+        let reader = ReaderNode::register(
+            self.schema.clone(),
+            Arc::clone(&self.coordinator),
+            Arc::clone(&self.shared),
+            self.reader_cache_bytes,
+        );
+        self.readers.write().push(Arc::clone(&reader));
+        self.refresh_readers()?;
+        Ok(reader)
+    }
+
+    /// Simulate a reader crash: deregister and drop the instance. K8s-style
+    /// recovery is simply [`Cluster::add_reader`] — readers are stateless.
+    pub fn crash_reader(&self, id: u64) -> bool {
+        let existed = self.coordinator.deregister_reader(id);
+        self.readers.write().retain(|r| r.id != id);
+        if existed {
+            // Survivors take over the orphaned shards.
+            let _ = self.refresh_readers();
+        }
+        existed
+    }
+
+    /// Insert entities (goes to the writer; §5.3 read/write separation).
+    pub fn insert(&self, batch: InsertBatch) -> StorageResult<()> {
+        self.writer.insert(batch)
+    }
+
+    /// Convenience: single-vector insert.
+    pub fn insert_vectors(&self, ids: Vec<i64>, vectors: VectorSet) -> StorageResult<()> {
+        self.writer.insert_vectors(ids, vectors)
+    }
+
+    /// Delete entities.
+    pub fn delete(&self, ids: &[i64]) -> StorageResult<()> {
+        self.writer.delete(ids)
+    }
+
+    /// Flush the writer and propagate the new segment versions to readers.
+    pub fn flush(&self) -> StorageResult<()> {
+        self.writer.flush()?;
+        self.refresh_readers()
+    }
+
+    fn refresh_readers(&self) -> StorageResult<()> {
+        for r in self.readers.read().iter() {
+            r.refresh()?;
+        }
+        Ok(())
+    }
+
+    /// Distributed vector query: fan out to every reader (each covers its
+    /// shards), merge the partial top-k lists.
+    pub fn search(
+        &self,
+        field: &str,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> StorageResult<Vec<Neighbor>> {
+        let readers = self.readers.read().clone();
+        let mut lists = Vec::with_capacity(readers.len());
+        for r in &readers {
+            lists.push(r.search(field, query, params)?);
+        }
+        Ok(milvus_storage::segment::merge_segment_results(&lists, params.k))
+    }
+
+    /// Max per-reader busy time since the last reset — the simulated
+    /// wall-clock of a query wave when readers run in parallel (Fig 10b).
+    pub fn critical_path(&self) -> Duration {
+        self.readers.read().iter().map(|r| r.busy_time()).max().unwrap_or_default()
+    }
+
+    /// Reset every reader's busy clock.
+    pub fn reset_busy(&self) {
+        for r in self.readers.read().iter() {
+            r.reset_busy();
+        }
+    }
+
+    /// Total live rows (writer view).
+    pub fn live_rows(&self) -> usize {
+        self.writer.live_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milvus_index::Metric;
+    use milvus_storage::object_store::MemoryStore;
+
+    fn cluster(shards: usize, readers: usize) -> Cluster {
+        let schema = Schema::single("v", 2, Metric::L2);
+        let cfg = LsmConfig { auto_merge: false, ..Default::default() };
+        Cluster::new(schema, shards, readers, Arc::new(MemoryStore::new()), cfg).unwrap()
+    }
+
+    fn fill(c: &Cluster, n: usize) {
+        let ids: Vec<i64> = (0..n as i64).collect();
+        let mut vs = VectorSet::new(2);
+        for &id in &ids {
+            vs.push(&[id as f32, 0.0]);
+        }
+        c.insert_vectors(ids, vs).unwrap();
+        c.flush().unwrap();
+    }
+
+    #[test]
+    fn distributed_search_finds_exact_hit() {
+        let c = cluster(8, 3);
+        fill(&c, 200);
+        assert_eq!(c.live_rows(), 200);
+        for probe in [0i64, 57, 123, 199] {
+            let res = c.search("v", &[probe as f32, 0.0], &SearchParams::top_k(1)).unwrap();
+            assert_eq!(res[0].id, probe, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn search_equals_single_node_reference() {
+        let c = cluster(4, 2);
+        fill(&c, 150);
+        let res = c.search("v", &[77.3, 0.0], &SearchParams::top_k(5)).unwrap();
+        let ids: Vec<i64> = res.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![77, 78, 76, 79, 75]);
+    }
+
+    #[test]
+    fn deletes_visible_cluster_wide() {
+        let c = cluster(4, 2);
+        fill(&c, 50);
+        c.delete(&[25]).unwrap();
+        c.flush().unwrap();
+        let res = c.search("v", &[25.0, 0.0], &SearchParams::top_k(1)).unwrap();
+        assert_ne!(res[0].id, 25);
+    }
+
+    #[test]
+    fn reader_crash_and_replacement_preserves_results() {
+        let c = cluster(8, 3);
+        fill(&c, 120);
+        let before = c.search("v", &[60.0, 0.0], &SearchParams::top_k(5)).unwrap();
+
+        // Crash one reader; survivors pick up its shards.
+        let victim = c.readers()[0].id;
+        assert!(c.crash_reader(victim));
+        assert_eq!(c.reader_count(), 2);
+        let during = c.search("v", &[60.0, 0.0], &SearchParams::top_k(5)).unwrap();
+        assert_eq!(before, during, "results changed after crash");
+
+        // K8s restarts a replacement instance.
+        c.add_reader().unwrap();
+        assert_eq!(c.reader_count(), 3);
+        let after = c.search("v", &[60.0, 0.0], &SearchParams::top_k(5)).unwrap();
+        assert_eq!(before, after, "results changed after replacement");
+    }
+
+    #[test]
+    fn scale_up_redistributes_shards() {
+        let c = cluster(16, 1);
+        fill(&c, 100);
+        let only = &c.readers()[0];
+        assert_eq!(only.assigned_shards().len(), 16);
+        c.add_reader().unwrap();
+        let loads: Vec<usize> =
+            c.readers().iter().map(|r| r.assigned_shards().len()).collect();
+        assert_eq!(loads.iter().sum::<usize>(), 16);
+        assert!(loads.iter().all(|&l| l > 0), "one reader got nothing: {loads:?}");
+    }
+
+    #[test]
+    fn busy_accounting_for_scalability_model() {
+        let c = cluster(8, 2);
+        fill(&c, 100);
+        c.reset_busy();
+        for i in 0..10 {
+            c.search("v", &[i as f32, 0.0], &SearchParams::top_k(3)).unwrap();
+        }
+        assert!(c.critical_path() > Duration::ZERO);
+        c.reset_busy();
+        assert_eq!(c.critical_path(), Duration::ZERO);
+    }
+}

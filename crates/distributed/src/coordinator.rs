@@ -1,0 +1,134 @@
+//! The coordinator layer (§5.3): metadata — shard count, reader membership,
+//! shard→reader placement via consistent hashing. The paper runs three
+//! coordinator instances under Zookeeper for HA; here the coordinator is a
+//! shared `Arc` whose state survives any compute-node "crash" by
+//! construction, which models the same guarantee.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::hashring::HashRing;
+
+/// Cluster metadata.
+pub struct Coordinator {
+    shards: usize,
+    ring: RwLock<HashRing>,
+    readers: RwLock<Vec<u64>>,
+    next_reader_id: RwLock<u64>,
+}
+
+impl Coordinator {
+    /// A coordinator for `shards` data shards.
+    pub fn new(shards: usize) -> Arc<Self> {
+        Arc::new(Self {
+            shards: shards.max(1),
+            ring: RwLock::new(HashRing::new(512)),
+            readers: RwLock::new(Vec::new()),
+            next_reader_id: RwLock::new(0),
+        })
+    }
+
+    /// Number of data shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Shard owning entity `id` (write-side partitioning).
+    pub fn shard_of(&self, id: i64) -> usize {
+        (crate::hashring::ring_hash(&id) % self.shards as u64) as usize
+    }
+
+    /// Register a new reader; returns its node id.
+    pub fn register_reader(&self) -> u64 {
+        let mut next = self.next_reader_id.write();
+        let id = *next;
+        *next += 1;
+        self.ring.write().add_node(id);
+        self.readers.write().push(id);
+        id
+    }
+
+    /// Deregister a reader (crash or scale-down); its shards move to the
+    /// remaining readers.
+    pub fn deregister_reader(&self, id: u64) -> bool {
+        let mut readers = self.readers.write();
+        let before = readers.len();
+        readers.retain(|&r| r != id);
+        if readers.len() != before {
+            self.ring.write().remove_node(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Registered readers.
+    pub fn readers(&self) -> Vec<u64> {
+        self.readers.read().clone()
+    }
+
+    /// Reader responsible for `shard` under the current membership.
+    pub fn reader_for_shard(&self, shard: usize) -> Option<u64> {
+        self.ring.read().node_for(&shard)
+    }
+
+    /// The shards assigned to `reader` under the current membership.
+    pub fn shards_of_reader(&self, reader: u64) -> Vec<usize> {
+        (0..self.shards)
+            .filter(|s| self.reader_for_shard(*s) == Some(reader))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_shard_has_an_owner() {
+        let c = Coordinator::new(16);
+        c.register_reader();
+        c.register_reader();
+        c.register_reader();
+        for s in 0..16 {
+            assert!(c.reader_for_shard(s).is_some());
+        }
+        // The union of per-reader shards is exactly 0..16.
+        let mut all: Vec<usize> =
+            c.readers().iter().flat_map(|&r| c.shards_of_reader(r)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let c = Coordinator::new(8);
+        for id in [-5i64, 0, 1, 1_000_000] {
+            let s = c.shard_of(id);
+            assert!(s < 8);
+            assert_eq!(s, c.shard_of(id));
+        }
+    }
+
+    #[test]
+    fn deregistration_moves_orphaned_shards() {
+        let c = Coordinator::new(32);
+        let r0 = c.register_reader();
+        let _r1 = c.register_reader();
+        let owned = c.shards_of_reader(r0);
+        assert!(c.deregister_reader(r0));
+        assert!(!c.deregister_reader(r0));
+        for s in owned {
+            let new_owner = c.reader_for_shard(s).unwrap();
+            assert_ne!(new_owner, r0);
+        }
+    }
+
+    #[test]
+    fn single_reader_owns_everything() {
+        let c = Coordinator::new(4);
+        let r = c.register_reader();
+        assert_eq!(c.shards_of_reader(r), vec![0, 1, 2, 3]);
+    }
+}

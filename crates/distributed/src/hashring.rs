@@ -1,0 +1,180 @@
+//! Consistent hashing (§5.3: "Data is sharded among the reader instances
+//! with consistent hashing").
+//!
+//! A classic ring with virtual nodes: each physical node owns `vnodes`
+//! points on a `u64` ring; a key maps to the first node clockwise. Adding or
+//! removing one node only moves the keys adjacent to its points.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a — stable across platforms and runs (unlike `DefaultHasher`'s
+/// unspecified algorithm, which is fine in-process but not for persisted
+/// shard maps).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Hash any `Hash` key to a ring position.
+pub fn ring_hash<K: Hash>(key: &K) -> u64 {
+    let mut h = FnvHasher(0xcbf2_9ce4_8422_2325);
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// A consistent-hash ring over node ids.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    vnodes: usize,
+    points: BTreeMap<u64, u64>,
+}
+
+impl HashRing {
+    /// An empty ring with `vnodes` virtual points per node.
+    pub fn new(vnodes: usize) -> Self {
+        Self { vnodes: vnodes.max(1), points: BTreeMap::new() }
+    }
+
+    /// Number of distinct physical nodes.
+    pub fn node_count(&self) -> usize {
+        let mut nodes: Vec<u64> = self.points.values().copied().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self, node: u64) {
+        for v in 0..self.vnodes {
+            self.points.insert(fnv1a(format!("node-{node}-vnode-{v}").as_bytes()), node);
+        }
+    }
+
+    /// Remove a node; its keys redistribute to ring neighbors.
+    pub fn remove_node(&mut self, node: u64) {
+        self.points.retain(|_, &mut n| n != node);
+    }
+
+    /// The node owning `key`, or `None` when the ring is empty.
+    pub fn node_for<K: Hash>(&self, key: &K) -> Option<u64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = ring_hash(key);
+        self.points
+            .range(h..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, &n)| n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignment(ring: &HashRing, keys: usize) -> Vec<u64> {
+        (0..keys).map(|k| ring.node_for(&k).unwrap()).collect()
+    }
+
+    #[test]
+    fn empty_ring_has_no_owner() {
+        let ring = HashRing::new(16);
+        assert_eq!(ring.node_for(&42), None);
+        assert_eq!(ring.node_count(), 0);
+    }
+
+    #[test]
+    fn all_keys_owned_and_spread() {
+        let mut ring = HashRing::new(64);
+        for n in 0..4 {
+            ring.add_node(n);
+        }
+        assert_eq!(ring.node_count(), 4);
+        let assign = assignment(&ring, 1000);
+        let mut counts = [0usize; 4];
+        for &n in &assign {
+            counts[n as usize] += 1;
+        }
+        // With 64 vnodes, no node should own less than 10% or more than 45%.
+        for (n, &c) in counts.iter().enumerate() {
+            assert!((100..450).contains(&c), "node {n} owns {c}/1000");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = HashRing::new(32);
+        let mut b = HashRing::new(32);
+        for n in [3, 1, 2] {
+            a.add_node(n);
+        }
+        for n in [1, 2, 3] {
+            b.add_node(n);
+        }
+        assert_eq!(assignment(&a, 200), assignment(&b, 200));
+    }
+
+    #[test]
+    fn minimal_disruption_on_node_removal() {
+        let mut ring = HashRing::new(64);
+        for n in 0..5 {
+            ring.add_node(n);
+        }
+        let before = assignment(&ring, 1000);
+        ring.remove_node(2);
+        let after = assignment(&ring, 1000);
+        let mut moved_to_wrong = 0;
+        for (k, (&b, &a)) in before.iter().zip(&after).enumerate() {
+            if b != 2 {
+                // Keys not on the removed node must not move.
+                assert_eq!(b, a, "key {k} moved needlessly");
+            } else {
+                assert_ne!(a, 2);
+                moved_to_wrong += 1;
+            }
+        }
+        assert!(moved_to_wrong > 0, "node 2 owned nothing?");
+    }
+
+    #[test]
+    fn adding_node_takes_share() {
+        let mut ring = HashRing::new(64);
+        ring.add_node(0);
+        ring.add_node(1);
+        let before = assignment(&ring, 1000);
+        ring.add_node(2);
+        let after = assignment(&ring, 1000);
+        let taken = before
+            .iter()
+            .zip(&after)
+            .filter(|(_, &a)| a == 2)
+            .count();
+        assert!(taken > 100, "new node took only {taken} keys");
+        // Keys that didn't go to the new node stayed put.
+        for (&b, &a) in before.iter().zip(&after) {
+            if a != 2 {
+                assert_eq!(b, a);
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The distributed layer (paper §5.3, Figure 5).
+//!
+//! A **shared-storage** design: compute is separated from storage; the
+//! storage layer is a highly-available object store (S3 in the paper,
+//! [`milvus_storage::object_store::MemoryStore`] here); the compute layer is
+//! a **single writer** plus **multiple stateless readers**; a coordinator
+//! keeps the metadata (sharding, membership). Data is sharded among readers
+//! with **consistent hashing**; the writer ships logs (not pages) to shared
+//! storage; crashed instances are simply restarted (K8s in the paper) and
+//! rebuild from shared state, because compute is stateless.
+//!
+//! Everything runs in-process: nodes are plain structs, RPC is a method
+//! call, and node parallelism is simulated by accounting per-reader busy
+//! time (Figure 10b's near-linear read scaling is a property of the
+//! sharding logic, which is executed for real).
+
+pub mod cluster;
+pub mod coordinator;
+pub mod hashring;
+pub mod log_ship;
+pub mod prefix_store;
+pub mod reader;
+pub mod writer;
+
+pub use cluster::Cluster;
+pub use coordinator::Coordinator;
+pub use hashring::HashRing;

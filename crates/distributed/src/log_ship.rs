@@ -1,0 +1,208 @@
+//! Log shipping to shared storage (§5.3 optimization 1: "The computing layer
+//! only sends logs (rather than the actual data) to the storage layer,
+//! similar to Aurora").
+//!
+//! The writer appends every operation as a JSON object under `wal/` in the
+//! shared store before acknowledging; flushes append a checkpoint. A standby
+//! writer recovers by loading the flushed segments and replaying the shipped
+//! tail — no local disk involved, which is what makes the writer itself
+//! stateless.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use milvus_storage::object_store::ObjectStore;
+use milvus_storage::wal::LogRecord;
+use milvus_storage::{InsertBatch, Result as StorageResult};
+
+fn log_key(seq: u64) -> String {
+    format!("wal/{seq:016}.json")
+}
+
+fn parse_log_key(key: &str) -> Option<u64> {
+    key.strip_prefix("wal/")?.strip_suffix(".json")?.parse().ok()
+}
+
+/// Appends operation records to the shared store.
+pub struct SharedLog {
+    store: Arc<dyn ObjectStore>,
+    next_seq: AtomicU64,
+}
+
+impl SharedLog {
+    /// Open the log, resuming the sequence after any existing records.
+    pub fn open(store: Arc<dyn ObjectStore>) -> StorageResult<Self> {
+        let max = store
+            .list("wal/")?
+            .iter()
+            .filter_map(|k| parse_log_key(k))
+            .max()
+            .unwrap_or(0);
+        Ok(Self { store, next_seq: AtomicU64::new(max + 1) })
+    }
+
+    fn append(&self, rec: &LogRecord) -> StorageResult<u64> {
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let blob = serde_json::to_vec(rec)?;
+        self.store.put(&log_key(seq), Bytes::from(blob))?;
+        Ok(seq)
+    }
+
+    /// Ship an insert; returns its sequence number.
+    pub fn ship_insert(&self, batch: InsertBatch) -> StorageResult<u64> {
+        let lsn = self.next_seq.load(Ordering::SeqCst);
+        self.append(&LogRecord::Insert { lsn, batch })
+    }
+
+    /// Ship a delete.
+    pub fn ship_delete(&self, ids: Vec<i64>) -> StorageResult<u64> {
+        let lsn = self.next_seq.load(Ordering::SeqCst);
+        self.append(&LogRecord::Delete { lsn, ids })
+    }
+
+    /// Ship a flush checkpoint: every record `<= upto_seq` is now durable in
+    /// segments; replay starts after it.
+    pub fn ship_checkpoint(&self, upto_seq: u64) -> StorageResult<u64> {
+        self.append(&LogRecord::FlushCheckpoint { lsn: upto_seq })
+    }
+
+    /// Records after the latest checkpoint, in sequence order — what a
+    /// standby writer must replay.
+    pub fn replay_tail(store: &Arc<dyn ObjectStore>) -> StorageResult<Vec<LogRecord>> {
+        let mut keys: Vec<(u64, String)> = store
+            .list("wal/")?
+            .into_iter()
+            .filter_map(|k| parse_log_key(&k).map(|s| (s, k)))
+            .collect();
+        keys.sort_by_key(|(s, _)| *s);
+        let mut records: Vec<(u64, LogRecord)> = Vec::with_capacity(keys.len());
+        for (seq, key) in keys {
+            let blob = store.get(&key)?;
+            records.push((seq, serde_json::from_slice(&blob)?));
+        }
+        let checkpoint = records
+            .iter()
+            .filter_map(|(_, r)| match r {
+                LogRecord::FlushCheckpoint { lsn } => Some(*lsn),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        Ok(records
+            .into_iter()
+            .filter(|(seq, r)| {
+                !matches!(r, LogRecord::FlushCheckpoint { .. }) && *seq > checkpoint
+            })
+            .map(|(_, r)| r)
+            .collect())
+    }
+
+    /// The sequence number of the most recently shipped record.
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq.load(Ordering::SeqCst).saturating_sub(1)
+    }
+
+    /// Drop records covered by the latest checkpoint (log truncation).
+    pub fn truncate(&self) -> StorageResult<usize> {
+        let tail: std::collections::HashSet<u64> = {
+            // Keep: everything after the newest checkpoint, plus that
+            // checkpoint record itself.
+            let mut keys: Vec<(u64, String)> = self
+                .store
+                .list("wal/")?
+                .into_iter()
+                .filter_map(|k| parse_log_key(&k).map(|s| (s, k)))
+                .collect();
+            keys.sort_by_key(|(s, _)| *s);
+            let mut checkpoint_seq = None;
+            for (seq, key) in &keys {
+                let blob = self.store.get(key)?;
+                if matches!(
+                    serde_json::from_slice::<LogRecord>(&blob)?,
+                    LogRecord::FlushCheckpoint { .. }
+                ) {
+                    checkpoint_seq = Some(*seq);
+                }
+            }
+            match checkpoint_seq {
+                None => return Ok(0),
+                Some(cp) => keys.iter().filter(|(s, _)| *s >= cp).map(|(s, _)| *s).collect(),
+            }
+        };
+        let mut removed = 0;
+        for key in self.store.list("wal/")? {
+            if let Some(seq) = parse_log_key(&key) {
+                if !tail.contains(&seq) {
+                    self.store.delete(&key)?;
+                    removed += 1;
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milvus_index::VectorSet;
+    use milvus_storage::object_store::MemoryStore;
+
+    fn batch(ids: Vec<i64>) -> InsertBatch {
+        let n = ids.len();
+        InsertBatch::single(ids, VectorSet::from_flat(2, vec![0.0; n * 2]))
+    }
+
+    #[test]
+    fn ship_and_replay() {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        let log = SharedLog::open(Arc::clone(&store)).unwrap();
+        log.ship_insert(batch(vec![1, 2])).unwrap();
+        log.ship_delete(vec![1]).unwrap();
+        let tail = SharedLog::replay_tail(&store).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert!(matches!(tail[0], LogRecord::Insert { .. }));
+        assert!(matches!(tail[1], LogRecord::Delete { .. }));
+    }
+
+    #[test]
+    fn checkpoint_limits_replay() {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        let log = SharedLog::open(Arc::clone(&store)).unwrap();
+        let s1 = log.ship_insert(batch(vec![1])).unwrap();
+        log.ship_checkpoint(s1).unwrap();
+        log.ship_insert(batch(vec![2])).unwrap();
+        let tail = SharedLog::replay_tail(&store).unwrap();
+        assert_eq!(tail.len(), 1);
+        let LogRecord::Insert { batch: b, .. } = &tail[0] else { panic!() };
+        assert_eq!(b.ids, vec![2]);
+    }
+
+    #[test]
+    fn sequence_resumes_after_reopen() {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        {
+            let log = SharedLog::open(Arc::clone(&store)).unwrap();
+            log.ship_insert(batch(vec![1])).unwrap();
+        }
+        let log = SharedLog::open(Arc::clone(&store)).unwrap();
+        let seq = log.ship_insert(batch(vec![2])).unwrap();
+        assert!(seq >= 2);
+    }
+
+    #[test]
+    fn truncation_drops_checkpointed_records() {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        let log = SharedLog::open(Arc::clone(&store)).unwrap();
+        let s1 = log.ship_insert(batch(vec![1])).unwrap();
+        let s2 = log.ship_delete(vec![1]).unwrap();
+        log.ship_checkpoint(s2).unwrap();
+        log.ship_insert(batch(vec![2])).unwrap();
+        let removed = log.truncate().unwrap();
+        assert_eq!(removed, 2, "records {s1} and {s2} should be truncated");
+        // Replay still yields only the post-checkpoint tail.
+        let tail = SharedLog::replay_tail(&store).unwrap();
+        assert_eq!(tail.len(), 1);
+    }
+}

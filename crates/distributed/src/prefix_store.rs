@@ -1,0 +1,89 @@
+//! A key-prefix view over a shared object store, giving each shard its own
+//! namespace inside the one shared bucket (Figure 5's "distributed shared
+//! storage").
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use milvus_storage::error::Result;
+use milvus_storage::object_store::ObjectStore;
+
+/// Wraps a store, prepending `prefix/` to every key.
+pub struct PrefixStore {
+    inner: Arc<dyn ObjectStore>,
+    prefix: String,
+}
+
+impl PrefixStore {
+    /// View of `inner` under `prefix`.
+    pub fn new(inner: Arc<dyn ObjectStore>, prefix: impl Into<String>) -> Self {
+        let mut prefix = prefix.into();
+        if !prefix.ends_with('/') {
+            prefix.push('/');
+        }
+        Self { inner, prefix }
+    }
+
+    fn full(&self, key: &str) -> String {
+        format!("{}{}", self.prefix, key)
+    }
+}
+
+impl ObjectStore for PrefixStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        self.inner.put(&self.full(key), data)
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.inner.get(&self.full(key)).map_err(|e| match e {
+            milvus_storage::StorageError::ObjectNotFound(_) => {
+                milvus_storage::StorageError::ObjectNotFound(key.to_string())
+            }
+            other => other,
+        })
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.inner.delete(&self.full(key))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        Ok(self
+            .inner
+            .list(&self.full(prefix))?
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(&self.prefix).map(str::to_string))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milvus_storage::object_store::MemoryStore;
+
+    #[test]
+    fn prefixes_are_isolated() {
+        let shared: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        let a = PrefixStore::new(Arc::clone(&shared), "shard-0");
+        let b = PrefixStore::new(Arc::clone(&shared), "shard-1");
+        a.put("x", Bytes::from_static(b"A")).unwrap();
+        b.put("x", Bytes::from_static(b"B")).unwrap();
+        assert_eq!(a.get("x").unwrap(), Bytes::from_static(b"A"));
+        assert_eq!(b.get("x").unwrap(), Bytes::from_static(b"B"));
+        assert_eq!(a.list("").unwrap(), vec!["x".to_string()]);
+        a.delete("x").unwrap();
+        assert!(a.get("x").is_err());
+        assert!(b.get("x").is_ok());
+    }
+
+    #[test]
+    fn not_found_reports_relative_key() {
+        let shared: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        let a = PrefixStore::new(shared, "p");
+        match a.get("missing") {
+            Err(milvus_storage::StorageError::ObjectNotFound(k)) => assert_eq!(k, "missing"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

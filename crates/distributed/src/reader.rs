@@ -1,0 +1,243 @@
+//! Stateless reader instances (§5.3).
+//!
+//! A reader owns no durable state: it pulls the segments of its assigned
+//! shards from shared storage into a local [`BufferPool`] ("each computing
+//! instance has a significant amount of buffer memory and SSDs to reduce
+//! accesses to the shared storage") and serves vector queries over them.
+//! Because readers are stateless, a crashed reader is replaced by simply
+//! registering a fresh one — no recovery protocol.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use milvus_index::traits::SearchParams;
+use milvus_index::Neighbor;
+use milvus_storage::bufferpool::BufferPool;
+use milvus_storage::codec;
+use milvus_storage::object_store::ObjectStore;
+use milvus_storage::segment::Segment;
+use milvus_storage::{Result as StorageResult, Schema};
+use parking_lot::RwLock;
+
+use crate::coordinator::Coordinator;
+
+/// A reader node.
+pub struct ReaderNode {
+    /// Coordinator-assigned node id.
+    pub id: u64,
+    schema: Schema,
+    coordinator: Arc<Coordinator>,
+    shared: Arc<dyn ObjectStore>,
+    pool: BufferPool,
+    /// shard → loaded segments.
+    segments: RwLock<HashMap<usize, Vec<Arc<Segment>>>>,
+    /// Accumulated search time in nanoseconds — the per-node busy clock used
+    /// to model node parallelism (Figure 10b).
+    busy_ns: AtomicU64,
+}
+
+impl ReaderNode {
+    /// Register a new reader with the coordinator.
+    pub fn register(
+        schema: Schema,
+        coordinator: Arc<Coordinator>,
+        shared: Arc<dyn ObjectStore>,
+        cache_bytes: usize,
+    ) -> Arc<Self> {
+        let id = coordinator.register_reader();
+        Arc::new(Self {
+            id,
+            schema,
+            coordinator,
+            shared,
+            pool: BufferPool::new(cache_bytes),
+            segments: RwLock::new(HashMap::new()),
+            busy_ns: AtomicU64::new(0),
+        })
+    }
+
+    /// Shards this reader currently serves.
+    pub fn assigned_shards(&self) -> Vec<usize> {
+        self.coordinator.shards_of_reader(self.id)
+    }
+
+    /// Pull the newest segment versions of every assigned shard from shared
+    /// storage (readers poll after writer flushes).
+    pub fn refresh(&self) -> StorageResult<()> {
+        let mut next: HashMap<usize, Vec<Arc<Segment>>> = HashMap::new();
+        for shard in self.assigned_shards() {
+            let prefix = format!("shard-{shard}/segments/");
+            let mut latest: HashMap<u64, (u64, String)> = HashMap::new();
+            for key in self.shared.list(&prefix)? {
+                if let Some((seg_id, version)) = parse_key(&key) {
+                    let e = latest.entry(seg_id).or_insert((version, key.clone()));
+                    if version > e.0 {
+                        *e = (version, key);
+                    }
+                }
+            }
+            let mut segs = Vec::with_capacity(latest.len());
+            for (seg_id, (version, key)) in latest {
+                // Cache key folds shard, segment and version together so a
+                // new version is a distinct pool entry.
+                let cache_key =
+                    (shard as u64) << 48 | (seg_id & 0xFFFF_FFFF) << 16 | (version & 0xFFFF);
+                let shared = Arc::clone(&self.shared);
+                let seg = self.pool.get_or_load(cache_key, move || {
+                    let blob = shared.get(&key)?;
+                    Ok(Arc::new(codec::decode_segment(seg_id, version, &blob)?))
+                })?;
+                segs.push(seg);
+            }
+            segs.sort_by_key(|s| s.id);
+            next.insert(shard, segs);
+        }
+        *self.segments.write() = next;
+        Ok(())
+    }
+
+    /// Segments currently loaded (across shards).
+    pub fn loaded_segments(&self) -> usize {
+        self.segments.read().values().map(Vec::len).sum()
+    }
+
+    /// Loaded segments carrying at least one persisted index (the §2.3
+    /// index-in-segment property observed from the read side).
+    pub fn indexed_segments(&self) -> usize {
+        self.segments
+            .read()
+            .values()
+            .flatten()
+            .filter(|s| !s.indexes_snapshot().is_empty())
+            .count()
+    }
+
+    /// Bufferpool statistics (cache behaviour of §2.4 at the reader).
+    pub fn cache_stats(&self) -> milvus_storage::bufferpool::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Accumulated busy time.
+    pub fn busy_time(&self) -> Duration {
+        Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed))
+    }
+
+    /// Reset the busy clock (between benchmark runs).
+    pub fn reset_busy(&self) {
+        self.busy_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Search this reader's shards; results from all its segments merged.
+    pub fn search(
+        &self,
+        field: &str,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> StorageResult<Vec<Neighbor>> {
+        let start = Instant::now();
+        let segments = self.segments.read();
+        let mut lists = Vec::new();
+        for segs in segments.values() {
+            for seg in segs {
+                lists.push(seg.search_field(&self.schema, field, query, params, None)?);
+            }
+        }
+        let merged = milvus_storage::segment::merge_segment_results(&lists, params.k);
+        self.busy_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(merged)
+    }
+}
+
+fn parse_key(key: &str) -> Option<(u64, u64)> {
+    // shard-N/segments/000000000001.v000001.seg
+    let stem = key.rsplit('/').next()?.strip_suffix(".seg")?;
+    let (id, v) = stem.split_once(".v")?;
+    Some((id.parse().ok()?, v.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::WriterNode;
+    use milvus_index::{Metric, VectorSet};
+    use milvus_storage::object_store::MemoryStore;
+    use milvus_storage::{InsertBatch, LsmConfig};
+
+    fn setup(shards: usize, readers: usize) -> (Arc<Coordinator>, WriterNode, Vec<Arc<ReaderNode>>) {
+        let coordinator = Coordinator::new(shards);
+        let shared: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+        let schema = Schema::single("v", 2, Metric::L2);
+        let cfg = LsmConfig { auto_merge: false, ..Default::default() };
+        let writer =
+            WriterNode::new(schema.clone(), cfg, Arc::clone(&shared), Arc::clone(&coordinator))
+                .unwrap();
+        let rs = (0..readers)
+            .map(|_| {
+                ReaderNode::register(
+                    schema.clone(),
+                    Arc::clone(&coordinator),
+                    Arc::clone(&shared),
+                    64 << 20,
+                )
+            })
+            .collect();
+        (coordinator, writer, rs)
+    }
+
+    fn insert_n(writer: &WriterNode, n: usize) {
+        let ids: Vec<i64> = (0..n as i64).collect();
+        let mut vs = VectorSet::new(2);
+        for &id in &ids {
+            vs.push(&[id as f32, 0.0]);
+        }
+        writer.insert(InsertBatch::single(ids, vs)).unwrap();
+        writer.flush().unwrap();
+    }
+
+    #[test]
+    fn readers_see_writer_data_after_refresh() {
+        let (_, writer, readers) = setup(4, 2);
+        insert_n(&writer, 100);
+        let mut total_hits = 0;
+        for r in &readers {
+            r.refresh().unwrap();
+            let res = r.search("v", &[42.0, 0.0], &SearchParams::top_k(1)).unwrap();
+            if res.first().map(|n| n.id) == Some(42) {
+                total_hits += 1;
+            }
+        }
+        // Exactly the reader owning id 42's shard finds it as the top hit.
+        assert_eq!(total_hits, 1);
+        assert!(readers.iter().map(|r| r.loaded_segments()).sum::<usize>() >= 4);
+    }
+
+    #[test]
+    fn cache_hits_on_second_refresh() {
+        let (_, writer, readers) = setup(2, 1);
+        insert_n(&writer, 40);
+        let r = &readers[0];
+        r.refresh().unwrap();
+        let misses_first = r.cache_stats().misses;
+        assert!(misses_first > 0);
+        r.refresh().unwrap();
+        // Same segment versions → all hits, no new misses.
+        assert_eq!(r.cache_stats().misses, misses_first);
+        assert!(r.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn busy_clock_accumulates() {
+        let (_, writer, readers) = setup(2, 1);
+        insert_n(&writer, 60);
+        let r = &readers[0];
+        r.refresh().unwrap();
+        assert_eq!(r.busy_time(), Duration::ZERO);
+        r.search("v", &[1.0, 0.0], &SearchParams::top_k(5)).unwrap();
+        assert!(r.busy_time() > Duration::ZERO);
+        r.reset_busy();
+        assert_eq!(r.busy_time(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,310 @@
+//! The simulated GPU device: memory, clock, and cost accounting.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Calibrated device parameters. Defaults approximate the paper's Tesla T4 +
+/// PCIe 3.0 x16 testbed relative to a single CPU core.
+#[derive(Debug, Clone)]
+pub struct GpuSpec {
+    /// Device global memory (the T4 has 16 GB; scale down together with the
+    /// dataset so "data cannot fit in GPU memory" scenarios stay meaningful).
+    pub global_memory_bytes: usize,
+    /// Peak PCIe bandwidth (15.75 GB/s for PCIe 3.0 x16).
+    pub pcie_bandwidth_bytes_per_sec: f64,
+    /// Fixed cost per DMA transfer — this is what makes bucket-by-bucket
+    /// copies achieve only 1–2 GB/s effective (§3.4).
+    pub pcie_latency_per_transfer: Duration,
+    /// Distance-computation throughput (multiply-adds per second).
+    pub kernel_ops_per_sec: f64,
+    /// Fixed cost per kernel launch.
+    pub kernel_launch_overhead: Duration,
+    /// Hard per-round result limit of the top-k kernel (§3.3: 1024, from the
+    /// shared-memory limit).
+    pub max_k_per_kernel: usize,
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self {
+            global_memory_bytes: 256 << 20, // scaled-down T4
+            pcie_bandwidth_bytes_per_sec: 15.75e9,
+            pcie_latency_per_transfer: Duration::from_micros(30),
+            kernel_ops_per_sec: 4.0e10,
+            kernel_launch_overhead: Duration::from_micros(10),
+            max_k_per_kernel: 1024,
+        }
+    }
+}
+
+impl GpuSpec {
+    /// A spec whose PCIe/kernel speeds are scaled down by the ratio between
+    /// the paper's 16-vCPU AVX-512 testbed and this benchmark host's single
+    /// core (~64×), so the *relative* cost of transfers vs host compute —
+    /// the quantity Figure 13's crossover depends on — is preserved at
+    /// laptop scale. `global_memory_bytes` stays a free parameter because
+    /// the experiment sets it relative to the dataset.
+    pub fn host_calibrated(global_memory_bytes: usize) -> Self {
+        Self {
+            global_memory_bytes,
+            pcie_bandwidth_bytes_per_sec: 15.75e9 / 64.0,
+            pcie_latency_per_transfer: Duration::from_micros(500),
+            kernel_ops_per_sec: 8.1e12 / 64.0,
+            kernel_launch_overhead: Duration::from_micros(40),
+            max_k_per_kernel: 1024,
+        }
+    }
+}
+
+/// Cumulative accounting for one device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Number of DMA transfers issued.
+    pub transfers: u64,
+    /// Total bytes moved over PCIe.
+    pub transferred_bytes: u64,
+    /// Kernel launches.
+    pub kernel_launches: u64,
+    /// Resident-set evictions.
+    pub evictions: u64,
+}
+
+struct Resident {
+    /// allocation key → (bytes, last-use tick)
+    entries: HashMap<u64, (usize, u64)>,
+    used: usize,
+    tick: u64,
+}
+
+/// One simulated GPU.
+pub struct GpuDevice {
+    /// Device ordinal (multi-GPU scheduling).
+    pub ordinal: usize,
+    spec: GpuSpec,
+    resident: Mutex<Resident>,
+    /// Simulated busy time in nanoseconds.
+    busy_ns: AtomicU64,
+    stats: Mutex<DeviceStats>,
+}
+
+impl GpuDevice {
+    /// Create device `ordinal` with the given spec.
+    pub fn new(ordinal: usize, spec: GpuSpec) -> Self {
+        Self {
+            ordinal,
+            spec,
+            resident: Mutex::new(Resident { entries: HashMap::new(), used: 0, tick: 0 }),
+            busy_ns: AtomicU64::new(0),
+            stats: Mutex::new(DeviceStats::default()),
+        }
+    }
+
+    /// The device's spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Total simulated busy time so far.
+    pub fn busy_time(&self) -> Duration {
+        Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed))
+    }
+
+    /// Accounting counters.
+    pub fn stats(&self) -> DeviceStats {
+        *self.stats.lock()
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident.lock().used
+    }
+
+    /// True when allocation `key` is resident.
+    pub fn is_resident(&self, key: u64) -> bool {
+        self.resident.lock().entries.contains_key(&key)
+    }
+
+    fn charge(&self, d: Duration) -> Duration {
+        self.busy_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        d
+    }
+
+    /// Cost of moving `bytes` in `chunks` DMA transfers (§3.4: fewer, larger
+    /// chunks utilize the bus better).
+    pub fn transfer_cost(&self, bytes: usize, chunks: usize) -> Duration {
+        let chunks = chunks.max(1) as u32;
+        let wire = Duration::from_secs_f64(bytes as f64 / self.spec.pcie_bandwidth_bytes_per_sec);
+        self.spec.pcie_latency_per_transfer * chunks + wire
+    }
+
+    /// Simulate a host→device transfer; returns the charged duration.
+    pub fn transfer(&self, bytes: usize, chunks: usize) -> Duration {
+        let d = self.transfer_cost(bytes, chunks);
+        {
+            let mut s = self.stats.lock();
+            s.transfers += chunks.max(1) as u64;
+            s.transferred_bytes += bytes as u64;
+        }
+        self.charge(d)
+    }
+
+    /// Simulate a kernel that performs `ops` multiply-adds.
+    pub fn run_kernel(&self, ops: u64) -> Duration {
+        let d = self.spec.kernel_launch_overhead
+            + Duration::from_secs_f64(ops as f64 / self.spec.kernel_ops_per_sec);
+        self.stats.lock().kernel_launches += 1;
+        self.charge(d)
+    }
+
+    /// Ensure allocation `key` (`bytes` large) is resident, evicting LRU
+    /// allocations as needed. Returns the transfer time charged (zero when
+    /// already resident). `batched` selects multi-bucket copying (one DMA)
+    /// versus bucket-by-bucket (`chunks` transfers), the Faiss behaviour the
+    /// paper fixes (§3.4).
+    pub fn ensure_resident(&self, key: u64, bytes: usize, chunks: usize) -> Duration {
+        {
+            let mut r = self.resident.lock();
+            r.tick += 1;
+            let tick = r.tick;
+            if let Some(e) = r.entries.get_mut(&key) {
+                e.1 = tick;
+                return Duration::ZERO;
+            }
+            // Evict LRU until it fits (an allocation larger than the device
+            // is rejected by returning an infinite-ish cost upstream; here we
+            // just clamp to the capacity check below).
+            while r.used + bytes > self.spec.global_memory_bytes && !r.entries.is_empty() {
+                let victim = *r
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, t))| *t)
+                    .map(|(k, _)| k)
+                    .expect("non-empty");
+                let (b, _) = r.entries.remove(&victim).expect("present");
+                r.used -= b;
+                self.stats.lock().evictions += 1;
+            }
+            r.entries.insert(key, (bytes, tick));
+            r.used += bytes;
+        }
+        self.transfer(bytes, chunks)
+    }
+
+    /// Register allocation `key` as resident **without charging a transfer**
+    /// — used when the payload already arrived as part of a coalesced
+    /// multi-bucket DMA (§3.4). Evicts LRU entries to fit.
+    pub fn register_resident(&self, key: u64, bytes: usize) {
+        let mut r = self.resident.lock();
+        r.tick += 1;
+        let tick = r.tick;
+        if let Some(e) = r.entries.get_mut(&key) {
+            e.1 = tick;
+            return;
+        }
+        while r.used + bytes > self.spec.global_memory_bytes && !r.entries.is_empty() {
+            let victim = *r
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k)
+                .expect("non-empty");
+            let (b, _) = r.entries.remove(&victim).expect("present");
+            r.used -= b;
+            self.stats.lock().evictions += 1;
+        }
+        r.entries.insert(key, (bytes, tick));
+        r.used += bytes;
+    }
+
+    /// Drop allocation `key` from device memory.
+    pub fn free(&self, key: u64) {
+        let mut r = self.resident.lock();
+        if let Some((b, _)) = r.entries.remove(&key) {
+            r.used -= b;
+        }
+    }
+
+    /// Effective bandwidth achieved when moving `bytes` in `chunks` transfers
+    /// (diagnostic matching the paper's 1–2 GB/s observation).
+    pub fn effective_bandwidth(&self, bytes: usize, chunks: usize) -> f64 {
+        bytes as f64 / self.transfer_cost(bytes, chunks).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> GpuDevice {
+        GpuDevice::new(0, GpuSpec::default())
+    }
+
+    #[test]
+    fn batched_transfer_faster_than_chunked() {
+        let d = dev();
+        let bytes = 4 << 20;
+        let batched = d.transfer_cost(bytes, 1);
+        let chunked = d.transfer_cost(bytes, 1000);
+        assert!(chunked > batched * 5, "{chunked:?} vs {batched:?}");
+    }
+
+    #[test]
+    fn effective_bandwidth_matches_paper_observation() {
+        // Bucket-by-bucket: ~1000 small buckets of 64 KB → 1-2 GB/s range.
+        let d = dev();
+        let eff = d.effective_bandwidth(1000 * 64 * 1024, 1000);
+        assert!(eff < 2.5e9, "effective bw {eff} too high");
+        // One big copy approaches peak.
+        let eff_big = d.effective_bandwidth(1000 * 64 * 1024, 1);
+        assert!(eff_big > 10.0e9, "batched bw {eff_big} too low");
+    }
+
+    #[test]
+    fn kernel_cost_scales_with_ops() {
+        let d = dev();
+        let small = d.run_kernel(1_000);
+        let big = d.run_kernel(10_000_000_000);
+        assert!(big > small * 10);
+        assert_eq!(d.stats().kernel_launches, 2);
+    }
+
+    #[test]
+    fn residency_caching() {
+        let d = dev();
+        let t1 = d.ensure_resident(1, 1024, 1);
+        assert!(t1 > Duration::ZERO);
+        let t2 = d.ensure_resident(1, 1024, 1);
+        assert_eq!(t2, Duration::ZERO);
+        assert!(d.is_resident(1));
+        d.free(1);
+        assert!(!d.is_resident(1));
+        assert_eq!(d.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_under_memory_pressure() {
+        let spec = GpuSpec { global_memory_bytes: 1000, ..Default::default() };
+        let d = GpuDevice::new(0, spec);
+        d.ensure_resident(1, 600, 1);
+        d.ensure_resident(2, 300, 1);
+        // Touch 1 so 2 is LRU.
+        d.ensure_resident(1, 600, 1);
+        d.ensure_resident(3, 300, 1);
+        assert!(d.is_resident(1));
+        assert!(!d.is_resident(2));
+        assert!(d.is_resident(3));
+        assert_eq!(d.stats().evictions, 1);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let d = dev();
+        assert_eq!(d.busy_time(), Duration::ZERO);
+        d.transfer(1 << 20, 1);
+        d.run_kernel(1_000_000);
+        assert!(d.busy_time() > Duration::ZERO);
+    }
+}

@@ -1,0 +1,105 @@
+//! The simulated top-k GPU kernel.
+//!
+//! Computes exact results on the host while charging the device for the
+//! equivalent work. Enforces the per-round result limit (`max_k_per_kernel`,
+//! default 1024) that motivates the round-by-round big-k algorithm of §3.3.
+
+use std::time::Duration;
+
+use milvus_index::{distance, Metric, Neighbor, TopK, VectorSet};
+
+use crate::device::GpuDevice;
+
+/// Error raised when a single kernel round is asked for more results than
+/// the device supports.
+#[derive(Debug, thiserror::Error)]
+#[error("k={k} exceeds GPU kernel limit {limit}; use bigk::search")]
+pub struct KernelKLimit {
+    /// Requested k.
+    pub k: usize,
+    /// Device limit.
+    pub limit: usize,
+}
+
+/// One top-k kernel launch over a data slice; `filter` drops rows before they
+/// enter the heap (the big-k algorithm's distance/id filtering, §3.3).
+///
+/// Returns per-query sorted results and the simulated kernel duration.
+pub fn topk_kernel(
+    device: &GpuDevice,
+    metric: Metric,
+    data: &VectorSet,
+    ids: &[i64],
+    queries: &VectorSet,
+    k: usize,
+    filter: Option<&dyn Fn(i64, f32) -> bool>,
+) -> Result<(Vec<Vec<Neighbor>>, Duration), KernelKLimit> {
+    let limit = device.spec().max_k_per_kernel;
+    if k > limit {
+        return Err(KernelKLimit { k, limit });
+    }
+    // Charge: every (query, row) pair costs `dim` multiply-adds.
+    let ops = (queries.len() as u64) * (data.len() as u64) * (data.dim() as u64);
+    let cost = device.run_kernel(ops);
+
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries.iter() {
+        let mut heap = TopK::new(k.max(1));
+        for (row, v) in data.iter().enumerate() {
+            let d = distance::distance(metric, q, v);
+            if filter.is_none_or(|f| f(ids[row], d)) {
+                heap.push(ids[row], d);
+            }
+        }
+        out.push(heap.into_sorted());
+    }
+    Ok((out, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::GpuSpec;
+
+    fn setup() -> (GpuDevice, VectorSet, Vec<i64>, VectorSet) {
+        let device = GpuDevice::new(0, GpuSpec::default());
+        let data = VectorSet::from_flat(2, (0..20).map(|i| i as f32).collect());
+        let ids: Vec<i64> = (0..10).collect();
+        let queries = VectorSet::from_flat(2, vec![0.0, 1.0]);
+        (device, data, ids, queries)
+    }
+
+    #[test]
+    fn exact_results() {
+        let (device, data, ids, queries) = setup();
+        let (res, cost) =
+            topk_kernel(&device, Metric::L2, &data, &ids, &queries, 3, None).unwrap();
+        assert_eq!(res.len(), 1);
+        assert_eq!(res[0][0].id, 0); // row 0 = [0,1] equals the query
+        assert!(cost > Duration::ZERO);
+    }
+
+    #[test]
+    fn k_limit_enforced() {
+        let (device, data, ids, queries) = setup();
+        let err = topk_kernel(&device, Metric::L2, &data, &ids, &queries, 2000, None)
+            .unwrap_err();
+        assert_eq!(err.limit, 1024);
+    }
+
+    #[test]
+    fn filter_excludes_rows() {
+        let (device, data, ids, queries) = setup();
+        let (res, _) = topk_kernel(
+            &device,
+            Metric::L2,
+            &data,
+            &ids,
+            &queries,
+            3,
+            Some(&|id, _| id != 0),
+        )
+        .unwrap();
+        assert!(res[0].iter().all(|n| n.id != 0));
+    }
+}

@@ -1,0 +1,149 @@
+//! Segment-based multi-GPU scheduling (§3.3 "Supporting multi-GPU devices").
+//!
+//! Faiss fixes the device count at compile time; Milvus discovers devices at
+//! runtime, lets them be added or removed elastically (the cloud scenario),
+//! and assigns segment-granular search tasks so that "each segment can only
+//! be served by a single GPU device". Assignment picks the device with the
+//! least simulated busy time (load balancing).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::device::{GpuDevice, GpuSpec};
+
+/// Runtime-mutable pool of simulated GPUs.
+#[derive(Default)]
+pub struct MultiGpuScheduler {
+    devices: RwLock<Vec<Arc<GpuDevice>>>,
+}
+
+impl MultiGpuScheduler {
+    /// An empty scheduler (CPU-only until devices are added).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scheduler with `n` identical devices.
+    pub fn with_devices(n: usize, spec: GpuSpec) -> Self {
+        let s = Self::new();
+        for i in 0..n {
+            s.add_device(Arc::new(GpuDevice::new(i, spec.clone())));
+        }
+        s
+    }
+
+    /// Hot-add a device ("if there is a new GPU device installed, Milvus can
+    /// immediately discover it").
+    pub fn add_device(&self, device: Arc<GpuDevice>) {
+        self.devices.write().push(device);
+    }
+
+    /// Remove a device by ordinal; returns true if one was removed.
+    pub fn remove_device(&self, ordinal: usize) -> bool {
+        let mut devices = self.devices.write();
+        let before = devices.len();
+        devices.retain(|d| d.ordinal != ordinal);
+        devices.len() != before
+    }
+
+    /// Number of registered devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.read().len()
+    }
+
+    /// Snapshot of registered devices.
+    pub fn devices(&self) -> Vec<Arc<GpuDevice>> {
+        self.devices.read().clone()
+    }
+
+    /// Pick the least-busy device for the next segment task, or `None` when
+    /// no devices are registered.
+    pub fn assign(&self) -> Option<Arc<GpuDevice>> {
+        self.devices
+            .read()
+            .iter()
+            .min_by_key(|d| d.busy_time())
+            .cloned()
+    }
+
+    /// Assign one device per segment task and run `f(segment, device)`,
+    /// returning per-task results. Each segment goes to exactly one device.
+    pub fn schedule<T, R>(
+        &self,
+        segments: Vec<T>,
+        mut f: impl FnMut(T, &GpuDevice) -> R,
+    ) -> Option<Vec<R>> {
+        if self.device_count() == 0 {
+            return None;
+        }
+        let mut out = Vec::with_capacity(segments.len());
+        for seg in segments {
+            let dev = self.assign().expect("non-empty device pool");
+            out.push(f(seg, &dev));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_pool_yields_none() {
+        let s = MultiGpuScheduler::new();
+        assert!(s.assign().is_none());
+        assert!(s.schedule(vec![1, 2], |_, _| ()).is_none());
+    }
+
+    #[test]
+    fn hot_add_and_remove() {
+        let s = MultiGpuScheduler::new();
+        assert_eq!(s.device_count(), 0);
+        s.add_device(Arc::new(GpuDevice::new(0, GpuSpec::default())));
+        s.add_device(Arc::new(GpuDevice::new(1, GpuSpec::default())));
+        assert_eq!(s.device_count(), 2);
+        assert!(s.remove_device(0));
+        assert!(!s.remove_device(0));
+        assert_eq!(s.device_count(), 1);
+    }
+
+    #[test]
+    fn load_balances_by_busy_time() {
+        let s = MultiGpuScheduler::with_devices(2, GpuSpec::default());
+        // Make device 0 busy.
+        s.devices()[0].transfer(1 << 30, 1);
+        let picked = s.assign().unwrap();
+        assert_eq!(picked.ordinal, 1);
+    }
+
+    #[test]
+    fn schedule_spreads_equal_work() {
+        let s = MultiGpuScheduler::with_devices(4, GpuSpec::default());
+        let tasks: Vec<usize> = (0..16).collect();
+        let assigned = s
+            .schedule(tasks, |_, dev| {
+                dev.run_kernel(1_000_000_000); // equal work per task
+                dev.ordinal
+            })
+            .unwrap();
+        // Every device should receive 4 of the 16 equal tasks.
+        let mut counts = [0usize; 4];
+        for o in assigned {
+            counts[o] += 1;
+        }
+        assert_eq!(counts, [4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn new_device_attracts_next_task() {
+        let s = MultiGpuScheduler::with_devices(1, GpuSpec::default());
+        s.devices()[0].run_kernel(10_000_000_000);
+        assert!(s.devices()[0].busy_time() > Duration::ZERO);
+        // Hot-add an idle device: it must win the next assignment.
+        s.add_device(Arc::new(GpuDevice::new(9, GpuSpec::default())));
+        assert_eq!(s.assign().unwrap().ordinal, 9);
+    }
+}

@@ -1,0 +1,189 @@
+//! Binary-vector metrics: Hamming, Jaccard and Tanimoto distance (§2.1, §6.2).
+//!
+//! Binary vectors are bit-packed into `u8` bytes, little-endian within each
+//! byte (bit `i` of the vector is bit `i % 8` of byte `i / 8`).
+
+use crate::metric::Metric;
+
+/// Number of bytes needed to store `bits` bits.
+#[inline]
+pub fn bytes_for_bits(bits: usize) -> usize {
+    bits.div_ceil(8)
+}
+
+/// Pack a boolean slice into bytes.
+pub fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bytes_for_bits(bits.len())];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Unpack bytes into `nbits` booleans.
+pub fn unpack_bits(bytes: &[u8], nbits: usize) -> Vec<bool> {
+    (0..nbits).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect()
+}
+
+/// Hamming distance: number of differing bits.
+#[inline]
+pub fn hamming(a: &[u8], b: &[u8]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+/// Jaccard distance: `1 - |a ∧ b| / |a ∨ b|`; two empty sets have distance 0.
+#[inline]
+pub fn jaccard(a: &[u8], b: &[u8]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut inter = 0u32;
+    let mut union = 0u32;
+    for (x, y) in a.iter().zip(b) {
+        inter += (x & y).count_ones();
+        union += (x | y).count_ones();
+    }
+    if union == 0 {
+        0.0
+    } else {
+        1.0 - inter as f32 / union as f32
+    }
+}
+
+/// Tanimoto distance: `-log2(similarity)` of the Tanimoto coefficient, the
+/// form used for chemical-fingerprint search (§6.2). Disjoint non-empty sets
+/// yield `f32::INFINITY`.
+#[inline]
+pub fn tanimoto(a: &[u8], b: &[u8]) -> f32 {
+    let sim = 1.0 - jaccard(a, b);
+    if sim <= 0.0 {
+        f32::INFINITY
+    } else {
+        -sim.log2()
+    }
+}
+
+/// Internal distance (smaller = better) for a binary metric.
+///
+/// # Panics
+/// Panics if called with a float metric.
+#[inline]
+pub fn binary_distance(metric: Metric, a: &[u8], b: &[u8]) -> f32 {
+    match metric {
+        Metric::Hamming => hamming(a, b) as f32,
+        Metric::Jaccard => jaccard(a, b),
+        Metric::Tanimoto => tanimoto(a, b),
+        m => panic!("float metric {m} passed to binary_distance()"),
+    }
+}
+
+/// A collection of equal-width bit-packed binary vectors.
+#[derive(Debug, Clone, Default)]
+pub struct BinaryVectorSet {
+    nbits: usize,
+    data: Vec<u8>,
+}
+
+impl BinaryVectorSet {
+    /// Create an empty set of `nbits`-wide vectors.
+    pub fn new(nbits: usize) -> Self {
+        Self { nbits, data: Vec::new() }
+    }
+
+    /// Bit width of each vector.
+    pub fn nbits(&self) -> usize {
+        self.nbits
+    }
+
+    /// Number of vectors stored.
+    pub fn len(&self) -> usize {
+        if self.nbits == 0 {
+            0
+        } else {
+            self.data.len() / bytes_for_bits(self.nbits)
+        }
+    }
+
+    /// True when no vectors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append one packed vector.
+    ///
+    /// # Panics
+    /// Panics if `packed` is not exactly `bytes_for_bits(nbits)` long.
+    pub fn push(&mut self, packed: &[u8]) {
+        assert_eq!(packed.len(), bytes_for_bits(self.nbits), "wrong packed width");
+        self.data.extend_from_slice(packed);
+    }
+
+    /// Borrow vector `i`.
+    pub fn get(&self, i: usize) -> &[u8] {
+        let w = bytes_for_bits(self.nbits);
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// Brute-force top-k scan under `metric`; returns `(row, distance)` pairs
+    /// sorted ascending by distance.
+    pub fn search(&self, metric: Metric, query: &[u8], k: usize) -> Vec<(usize, f32)> {
+        let mut all: Vec<(usize, f32)> = (0..self.len())
+            .map(|i| (i, binary_distance(metric, query, self.get(i))))
+            .collect();
+        all.sort_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let bits = vec![true, false, true, true, false, false, false, true, true, false];
+        let packed = pack_bits(&bits);
+        assert_eq!(unpack_bits(&packed, bits.len()), bits);
+    }
+
+    #[test]
+    fn hamming_known() {
+        assert_eq!(hamming(&[0b1010], &[0b0101]), 4);
+        assert_eq!(hamming(&[0xFF, 0x00], &[0xFF, 0x00]), 0);
+        assert_eq!(hamming(&[0x00], &[0xFF]), 8);
+    }
+
+    #[test]
+    fn jaccard_known() {
+        // a = {0,1}, b = {1,2}: intersection 1, union 3.
+        assert!((jaccard(&[0b011], &[0b110]) - (1.0 - 1.0 / 3.0)).abs() < 1e-6);
+        assert_eq!(jaccard(&[0], &[0]), 0.0);
+        assert_eq!(jaccard(&[0b1], &[0b10]), 1.0);
+    }
+
+    #[test]
+    fn tanimoto_identical_is_zero() {
+        assert_eq!(tanimoto(&[0b1011], &[0b1011]), 0.0);
+        assert_eq!(tanimoto(&[0b1], &[0b10]), f32::INFINITY);
+    }
+
+    #[test]
+    fn set_search_orders_by_distance() {
+        let mut set = BinaryVectorSet::new(8);
+        set.push(&[0b0000_0000]);
+        set.push(&[0b0000_1111]);
+        set.push(&[0b1111_1111]);
+        let res = set.search(Metric::Hamming, &[0b0000_0001], 3);
+        assert_eq!(res.iter().map(|r| r.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(res[0].1, 1.0);
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = BinaryVectorSet::new(16);
+        assert!(set.is_empty());
+        assert!(set.search(Metric::Jaccard, &[0, 0], 5).is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! 256-bit AVX2+FMA kernels.
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+
+/// Squared Euclidean distance using AVX2/FMA.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2 and FMA.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let mut acc = _mm256_setzero_ps();
+    let chunks = n / 8;
+    for i in 0..chunks {
+        let va = _mm256_loadu_ps(a.as_ptr().add(i * 8));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(i * 8));
+        let d = _mm256_sub_ps(va, vb);
+        acc = _mm256_fmadd_ps(d, d, acc);
+    }
+    let mut sum = horizontal_sum(acc);
+    for i in chunks * 8..n {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Inner product using AVX2/FMA.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2 and FMA.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let mut acc = _mm256_setzero_ps();
+    let chunks = n / 8;
+    for i in 0..chunks {
+        let va = _mm256_loadu_ps(a.as_ptr().add(i * 8));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(i * 8));
+        acc = _mm256_fmadd_ps(va, vb, acc);
+    }
+    let mut sum = horizontal_sum(acc);
+    for i in chunks * 8..n {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+#[inline]
+unsafe fn horizontal_sum(v: __m256) -> f32 {
+    let hi = _mm256_extractf128_ps(v, 1);
+    let lo = _mm256_castps256_ps128(v);
+    let sum128 = _mm_add_ps(lo, hi);
+    let shuf = _mm_movehdup_ps(sum128);
+    let sums = _mm_add_ps(sum128, shuf);
+    let shuf = _mm_movehl_ps(shuf, sums);
+    let sums = _mm_add_ss(sums, shuf);
+    _mm_cvtss_f32(sums)
+}

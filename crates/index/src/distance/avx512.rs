@@ -1,0 +1,49 @@
+//! 512-bit AVX-512F kernels — the paper's headline SIMD addition over Faiss
+//! (§3.2.2 "Supporting AVX512", evaluated in Figure 12).
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+
+/// Squared Euclidean distance using AVX-512F.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX-512F.
+#[target_feature(enable = "avx512f")]
+pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let mut acc = _mm512_setzero_ps();
+    let chunks = n / 16;
+    for i in 0..chunks {
+        let va = _mm512_loadu_ps(a.as_ptr().add(i * 16));
+        let vb = _mm512_loadu_ps(b.as_ptr().add(i * 16));
+        let d = _mm512_sub_ps(va, vb);
+        acc = _mm512_fmadd_ps(d, d, acc);
+    }
+    let mut sum = _mm512_reduce_add_ps(acc);
+    for i in chunks * 16..n {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Inner product using AVX-512F.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX-512F.
+#[target_feature(enable = "avx512f")]
+pub unsafe fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let mut acc = _mm512_setzero_ps();
+    let chunks = n / 16;
+    for i in 0..chunks {
+        let va = _mm512_loadu_ps(a.as_ptr().add(i * 16));
+        let vb = _mm512_loadu_ps(b.as_ptr().add(i * 16));
+        acc = _mm512_fmadd_ps(va, vb, acc);
+    }
+    let mut sum = _mm512_reduce_add_ps(acc);
+    for i in chunks * 16..n {
+        sum += a[i] * b[i];
+    }
+    sum
+}

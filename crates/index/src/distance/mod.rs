@@ -1,0 +1,225 @@
+//! Distance kernels with per-ISA implementations and runtime dispatch.
+//!
+//! Mirroring the paper's refactor of Faiss (§3.2.2), each ISA level lives in
+//! its own source file — [`scalar`], [`sse`], [`avx2`], [`avx512`] — and the
+//! public functions here dispatch on [`crate::simd::active_level`]. Kernels
+//! operate on `f32` slices of equal length; binary metrics live in
+//! [`crate::binary`].
+
+pub mod avx2;
+pub mod avx512;
+pub mod scalar;
+pub mod sse;
+
+use crate::metric::Metric;
+use crate::simd::{active_level, SimdLevel};
+
+/// Squared Euclidean distance between `a` and `b`.
+///
+/// # Panics
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    l2_sq_with_level(a, b, active_level())
+}
+
+/// Inner product of `a` and `b` (raw, not negated).
+#[inline]
+pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    ip_with_level(a, b, active_level())
+}
+
+/// Cosine similarity of `a` and `b` (raw, not negated). Zero vectors yield 0.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot = inner_product(a, b);
+    let na = inner_product(a, a).sqrt();
+    let nb = inner_product(b, b).sqrt();
+    let denom = na * nb;
+    if denom == 0.0 {
+        0.0
+    } else {
+        dot / denom
+    }
+}
+
+/// Squared L2 norm of `v`.
+#[inline]
+pub fn norm_sq(v: &[f32]) -> f32 {
+    inner_product(v, v)
+}
+
+/// L2-normalize `v` in place; zero vectors are left untouched.
+pub fn normalize(v: &mut [f32]) {
+    let n = norm_sq(v).sqrt();
+    if n > 0.0 {
+        let inv = 1.0 / n;
+        for x in v.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// Compute the *internal* distance (smaller = better) for a float metric.
+///
+/// # Panics
+/// Panics if called with a binary metric — those are computed by
+/// [`crate::binary::binary_distance`].
+#[inline]
+pub fn distance(metric: Metric, a: &[f32], b: &[f32]) -> f32 {
+    match metric {
+        Metric::L2 => l2_sq(a, b),
+        Metric::InnerProduct => -inner_product(a, b),
+        Metric::Cosine => -cosine(a, b),
+        m => panic!("binary metric {m} passed to float distance()"),
+    }
+}
+
+/// L2² at an explicit ISA level (benchmarks pin levels; normal code uses
+/// [`l2_sq`]).
+#[inline]
+pub fn l2_sq_with_level(a: &[f32], b: &[f32], level: SimdLevel) -> f32 {
+    match level {
+        SimdLevel::Scalar => scalar::l2_sq(a, b),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse => unsafe { sse::l2_sq(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::l2_sq(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { avx512::l2_sq(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::l2_sq(a, b),
+    }
+}
+
+/// Inner product at an explicit ISA level.
+#[inline]
+pub fn ip_with_level(a: &[f32], b: &[f32], level: SimdLevel) -> f32 {
+    match level {
+        SimdLevel::Scalar => scalar::inner_product(a, b),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse => unsafe { sse::inner_product(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { avx2::inner_product(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 => unsafe { avx512::inner_product(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::inner_product(a, b),
+    }
+}
+
+/// Distances from one query to every row of a contiguous `dim`-strided matrix,
+/// written into `out` (one entry per row). The hot loop of every scan path.
+pub fn distances_into(metric: Metric, query: &[f32], data: &[f32], dim: usize, out: &mut [f32]) {
+    debug_assert_eq!(query.len(), dim);
+    debug_assert_eq!(data.len(), out.len() * dim);
+    for (row, slot) in data.chunks_exact(dim).zip(out.iter_mut()) {
+        *slot = distance(metric, query, row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::SimdLevel;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() <= 1e-3 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    fn test_vectors(dim: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.11).cos()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn all_levels_agree_on_l2() {
+        // Odd dims exercise the remainder loops of each kernel.
+        for dim in [1, 3, 8, 15, 16, 17, 31, 32, 33, 96, 100, 128, 133] {
+            let (a, b) = test_vectors(dim);
+            let reference = scalar::l2_sq(&a, &b);
+            for level in SimdLevel::ALL {
+                if level.supported() {
+                    let got = l2_sq_with_level(&a, &b, level);
+                    assert!(
+                        approx(got, reference),
+                        "l2 {level} dim={dim}: {got} vs {reference}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_levels_agree_on_ip() {
+        for dim in [1, 3, 8, 15, 16, 17, 31, 32, 33, 96, 100, 128, 133] {
+            let (a, b) = test_vectors(dim);
+            let reference = scalar::inner_product(&a, &b);
+            for level in SimdLevel::ALL {
+                if level.supported() {
+                    let got = ip_with_level(&a, &b, level);
+                    assert!(
+                        approx(got, reference),
+                        "ip {level} dim={dim}: {got} vs {reference}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn l2_of_identical_vectors_is_zero() {
+        let (a, _) = test_vectors(64);
+        assert!(l2_sq(&a, &a) < 1e-6);
+    }
+
+    #[test]
+    fn cosine_bounds_and_sign() {
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        let c = vec![-1.0, 0.0];
+        assert!(approx(cosine(&a, &a), 1.0));
+        assert!(approx(cosine(&a, &b), 0.0));
+        assert!(approx(cosine(&a, &c), -1.0));
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        let z = vec![0.0; 8];
+        let a = vec![1.0; 8];
+        assert_eq!(cosine(&z, &a), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!(approx(norm_sq(&v), 1.0));
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn internal_distance_negates_similarity() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0];
+        assert!(approx(distance(Metric::InnerProduct, &a, &b), -11.0));
+        assert!(approx(distance(Metric::L2, &a, &b), 8.0));
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let dim = 16;
+        let (q, _) = test_vectors(dim);
+        let data: Vec<f32> = (0..dim * 5).map(|i| (i as f32 * 0.05).sin()).collect();
+        let mut out = vec![0.0; 5];
+        distances_into(Metric::L2, &q, &data, dim, &mut out);
+        for (i, row) in data.chunks_exact(dim).enumerate() {
+            assert!(approx(out[i], l2_sq(&q, row)));
+        }
+    }
+}

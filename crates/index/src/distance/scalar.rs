@@ -1,0 +1,61 @@
+//! Portable scalar kernels — the reference implementation every SIMD level
+//! is tested against, and the fallback on non-x86 targets.
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    // Four independent accumulators give the compiler room to pipeline even
+    // without explicit SIMD.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let base = i * 4;
+        for lane in 0..4 {
+            let d = a[base + lane] - b[base + lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Inner product.
+#[inline]
+pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let base = i * 4;
+        for lane in 0..4 {
+            acc[lane] += a[base + lane] * b[base + lane];
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(l2_sq(&a, &b), 16.0 + 4.0 + 0.0 + 4.0 + 16.0);
+        assert_eq!(inner_product(&a, &b), 5.0 + 8.0 + 9.0 + 8.0 + 5.0);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(l2_sq(&[], &[]), 0.0);
+        assert_eq!(inner_product(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! 128-bit SSE kernels (one source file per ISA level, as in the paper).
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+
+/// Squared Euclidean distance using SSE.
+///
+/// # Safety
+/// The caller must ensure the CPU supports SSE4.1
+/// (checked by [`crate::simd::SimdLevel::supported`]).
+#[target_feature(enable = "sse4.1")]
+pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let mut acc = _mm_setzero_ps();
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let va = _mm_loadu_ps(a.as_ptr().add(i * 4));
+        let vb = _mm_loadu_ps(b.as_ptr().add(i * 4));
+        let d = _mm_sub_ps(va, vb);
+        acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+    }
+    let mut sum = horizontal_sum(acc);
+    for i in chunks * 4..n {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Inner product using SSE.
+///
+/// # Safety
+/// The caller must ensure the CPU supports SSE4.1.
+#[target_feature(enable = "sse4.1")]
+pub unsafe fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let mut acc = _mm_setzero_ps();
+    let chunks = n / 4;
+    for i in 0..chunks {
+        let va = _mm_loadu_ps(a.as_ptr().add(i * 4));
+        let vb = _mm_loadu_ps(b.as_ptr().add(i * 4));
+        acc = _mm_add_ps(acc, _mm_mul_ps(va, vb));
+    }
+    let mut sum = horizontal_sum(acc);
+    for i in chunks * 4..n {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+#[inline]
+unsafe fn horizontal_sum(v: __m128) -> f32 {
+    let shuf = _mm_movehdup_ps(v);
+    let sums = _mm_add_ps(v, shuf);
+    let shuf = _mm_movehl_ps(shuf, sums);
+    let sums = _mm_add_ss(sums, shuf);
+    _mm_cvtss_f32(sums)
+}

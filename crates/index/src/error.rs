@@ -1,0 +1,41 @@
+//! Error type shared by all index operations.
+
+use thiserror::Error;
+
+/// Errors produced by index construction and search.
+#[derive(Debug, Error)]
+pub enum IndexError {
+    /// A vector had a different dimensionality than the index expects.
+    #[error("dimension mismatch: index expects {expected}, got {got}")]
+    DimensionMismatch { expected: usize, got: usize },
+
+    /// The operation needs a trained index (e.g. IVF before add/search).
+    #[error("index is not trained: {0}")]
+    NotTrained(&'static str),
+
+    /// Not enough training points for the requested structure.
+    #[error("insufficient training data: need at least {need}, got {got}")]
+    InsufficientTrainingData { need: usize, got: usize },
+
+    /// A parameter was outside its valid range.
+    #[error("invalid parameter {name}: {reason}")]
+    InvalidParameter { name: &'static str, reason: String },
+
+    /// The metric is not supported by this index type.
+    #[error("metric {metric} unsupported by {index}")]
+    UnsupportedMetric { metric: &'static str, index: &'static str },
+
+    /// No index with the given name is registered in the index registry.
+    #[error("unknown index type: {0}")]
+    UnknownIndexType(String),
+}
+
+/// Convenience alias used throughout the index crate.
+pub type Result<T> = std::result::Result<T, IndexError>;
+
+impl IndexError {
+    /// Helper for `InvalidParameter` with a formatted reason.
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        IndexError::InvalidParameter { name, reason: reason.into() }
+    }
+}

@@ -1,0 +1,237 @@
+//! Product quantization for IVF_PQ (§3.1, Jégou et al., TPAMI 2011).
+//!
+//! "IVF_PQ uses product quantization that splits each vector into multiple
+//! sub-vectors and applies K-means for each sub-space." Search uses
+//! asymmetric distance computation (ADC): per query, a lookup table of
+//! sub-distances from each query sub-vector to every sub-codeword is built
+//! once, after which each encoded vector's distance is `m` table lookups.
+
+use crate::error::{IndexError, Result};
+use crate::kmeans;
+use crate::metric::Metric;
+use crate::vectors::VectorSet;
+
+/// A trained product quantizer: `m` sub-spaces × `2^nbits` codewords each.
+#[derive(Debug, Clone)]
+pub struct ProductQuantizer {
+    dim: usize,
+    m: usize,
+    sub_dim: usize,
+    ksub: usize,
+    /// Codebooks laid out as `m` consecutive VectorSets of dim `sub_dim`.
+    codebooks: Vec<VectorSet>,
+}
+
+/// Per-query ADC lookup table.
+pub struct DistanceTable {
+    m: usize,
+    ksub: usize,
+    /// `m * ksub` sub-distances, row-major by sub-space.
+    table: Vec<f32>,
+}
+
+impl DistanceTable {
+    /// Total distance of an encoded vector: sum of one lookup per sub-space.
+    #[inline]
+    pub fn lookup(&self, code: &[u8]) -> f32 {
+        debug_assert_eq!(code.len(), self.m);
+        let mut sum = 0.0;
+        for (sub, &c) in code.iter().enumerate() {
+            sum += self.table[sub * self.ksub + c as usize];
+        }
+        sum
+    }
+}
+
+impl ProductQuantizer {
+    /// Train codebooks over `data`, splitting each vector into `m` sub-vectors
+    /// with `2^nbits` codewords per sub-space.
+    pub fn train(
+        data: &VectorSet,
+        m: usize,
+        nbits: u32,
+        kmeans_iters: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        let dim = data.dim();
+        if m == 0 || !dim.is_multiple_of(m) {
+            return Err(IndexError::invalid(
+                "pq_m",
+                format!("m={m} must be positive and divide dim={dim}"),
+            ));
+        }
+        if !(1..=8).contains(&nbits) {
+            return Err(IndexError::invalid("pq_nbits", "must be in 1..=8"));
+        }
+        let sub_dim = dim / m;
+        // Cap codewords at the training-set size so k-means stays trainable.
+        let ksub = (1usize << nbits).min(data.len());
+        let mut codebooks = Vec::with_capacity(m);
+        for sub in 0..m {
+            // Slice out the sub-vectors of this sub-space.
+            let mut sub_data = VectorSet::with_capacity(sub_dim, data.len());
+            for row in data.iter() {
+                sub_data.push(&row[sub * sub_dim..(sub + 1) * sub_dim]);
+            }
+            let km = kmeans::train(&sub_data, ksub, kmeans_iters, seed.wrapping_add(sub as u64))?;
+            codebooks.push(km.centroids);
+        }
+        Ok(Self { dim, m, sub_dim, ksub, codebooks })
+    }
+
+    /// Reassemble from persisted codebooks (codec).
+    pub fn from_codebooks(
+        dim: usize,
+        m: usize,
+        ksub: usize,
+        codebooks: Vec<VectorSet>,
+    ) -> Self {
+        assert!(m > 0 && dim.is_multiple_of(m), "m must divide dim");
+        assert_eq!(codebooks.len(), m, "one codebook per sub-space");
+        Self { dim, m, sub_dim: dim / m, ksub, codebooks }
+    }
+
+    /// Codebook of sub-space `sub`.
+    pub fn codebook(&self, sub: usize) -> &VectorSet {
+        &self.codebooks[sub]
+    }
+
+    /// Number of sub-quantizers (bytes per code).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Codewords per sub-space.
+    pub fn ksub(&self) -> usize {
+        self.ksub
+    }
+
+    /// Encode `v`, appending `m` bytes to `out`.
+    pub fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) {
+        debug_assert_eq!(v.len(), self.dim);
+        for sub in 0..self.m {
+            let part = &v[sub * self.sub_dim..(sub + 1) * self.sub_dim];
+            let (idx, _) = kmeans::nearest_centroid(&self.codebooks[sub], part);
+            out.push(idx as u8);
+        }
+    }
+
+    /// Decode a code into the concatenation of its codewords.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        debug_assert_eq!(code.len(), self.m);
+        let mut out = Vec::with_capacity(self.dim);
+        for (sub, &c) in code.iter().enumerate() {
+            out.extend_from_slice(self.codebooks[sub].get(c as usize));
+        }
+        out
+    }
+
+    /// Build the per-query ADC table for `metric` (L2 or inner product;
+    /// cosine is handled by normalization in the IVF layer).
+    pub fn distance_table(&self, query: &[f32], metric: Metric) -> DistanceTable {
+        debug_assert_eq!(query.len(), self.dim);
+        let mut table = vec![0.0f32; self.m * self.ksub];
+        for sub in 0..self.m {
+            let qpart = &query[sub * self.sub_dim..(sub + 1) * self.sub_dim];
+            for (c, codeword) in self.codebooks[sub].iter().enumerate() {
+                table[sub * self.ksub + c] = match metric {
+                    Metric::L2 => crate::distance::l2_sq(qpart, codeword),
+                    Metric::InnerProduct => -crate::distance::inner_product(qpart, codeword),
+                    m => panic!("PQ distance table for unsupported metric {m}"),
+                };
+            }
+        }
+        DistanceTable { m: self.m, ksub: self.ksub, table }
+    }
+
+    /// Heap size of the codebooks.
+    pub fn memory_bytes(&self) -> usize {
+        self.codebooks.iter().map(VectorSet::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> VectorSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vs = VectorSet::new(dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            vs.push(&v);
+        }
+        vs
+    }
+
+    #[test]
+    fn m_must_divide_dim() {
+        let data = random_data(50, 10, 1);
+        assert!(ProductQuantizer::train(&data, 3, 8, 5, 0).is_err());
+        assert!(ProductQuantizer::train(&data, 0, 8, 5, 0).is_err());
+        assert!(ProductQuantizer::train(&data, 5, 8, 5, 0).is_ok());
+    }
+
+    #[test]
+    fn nbits_range_checked() {
+        let data = random_data(50, 8, 1);
+        assert!(ProductQuantizer::train(&data, 4, 0, 5, 0).is_err());
+        assert!(ProductQuantizer::train(&data, 4, 9, 5, 0).is_err());
+    }
+
+    #[test]
+    fn encode_decode_reduces_error_vs_random() {
+        let data = random_data(300, 8, 2);
+        let pq = ProductQuantizer::train(&data, 4, 6, 10, 3).unwrap();
+        let mut total_err = 0.0f32;
+        for row in data.iter() {
+            let mut code = Vec::new();
+            pq.encode_into(row, &mut code);
+            let dec = pq.decode(&code);
+            total_err += crate::distance::l2_sq(row, &dec);
+        }
+        let avg = total_err / 300.0;
+        // Random guessing would give ~ E||x-y||² = 2·dim·Var ≈ 5.3; the
+        // quantizer should do far better.
+        assert!(avg < 1.0, "avg reconstruction error {avg} too high");
+    }
+
+    #[test]
+    fn adc_table_matches_decoded_distance_l2() {
+        let data = random_data(200, 8, 4);
+        let pq = ProductQuantizer::train(&data, 4, 5, 10, 5).unwrap();
+        let q: Vec<f32> = data.get(0).to_vec();
+        let table = pq.distance_table(&q, Metric::L2);
+        for row in data.iter().take(20) {
+            let mut code = Vec::new();
+            pq.encode_into(row, &mut code);
+            let via_table = table.lookup(&code);
+            let via_decode = crate::distance::l2_sq(&q, &pq.decode(&code));
+            assert!((via_table - via_decode).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn adc_table_matches_decoded_distance_ip() {
+        let data = random_data(200, 8, 6);
+        let pq = ProductQuantizer::train(&data, 2, 5, 10, 7).unwrap();
+        let q: Vec<f32> = data.get(1).to_vec();
+        let table = pq.distance_table(&q, Metric::InnerProduct);
+        for row in data.iter().take(20) {
+            let mut code = Vec::new();
+            pq.encode_into(row, &mut code);
+            let via_table = table.lookup(&code);
+            let via_decode = -crate::distance::inner_product(&q, &pq.decode(&code));
+            assert!((via_table - via_decode).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn small_training_set_caps_ksub() {
+        let data = random_data(10, 4, 8);
+        let pq = ProductQuantizer::train(&data, 2, 8, 5, 9).unwrap();
+        assert!(pq.ksub() <= 10);
+    }
+}

@@ -1,0 +1,244 @@
+//! K-means clustering — the coarse quantizer of every IVF index (§3.1).
+//!
+//! "The K-means clustering algorithm is commonly used to construct the
+//! codebook C where each codeword is the centroid and z(v) is the closest
+//! centroid to v." We use k-means++ seeding followed by Lloyd iterations;
+//! assignment is parallelized with rayon and uses the SIMD distance kernels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+use crate::distance;
+use crate::error::{IndexError, Result};
+use crate::vectors::VectorSet;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// The codebook: `k` centroids of the training dimension.
+    pub centroids: VectorSet,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations actually executed.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Number of centroids.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Index of the centroid closest to `v` (the quantizer `z(v)`).
+    pub fn assign(&self, v: &[f32]) -> usize {
+        nearest_centroid(&self.centroids, v).0
+    }
+
+    /// The `nprobe` centroid indices closest to `v`, best first (§3.1 step 1).
+    pub fn assign_multi(&self, v: &[f32], nprobe: usize) -> Vec<usize> {
+        let mut dists: Vec<(usize, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, distance::l2_sq(v, c)))
+            .collect();
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        dists.truncate(nprobe.max(1));
+        dists.into_iter().map(|(i, _)| i).collect()
+    }
+}
+
+/// Index and distance of the centroid nearest to `v`.
+pub fn nearest_centroid(centroids: &VectorSet, v: &[f32]) -> (usize, f32) {
+    let mut best = (0usize, f32::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = distance::l2_sq(v, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// Train `k` centroids over `data` with k-means++ seeding and at most
+/// `max_iters` Lloyd iterations. Deterministic for a given `seed`.
+pub fn train(data: &VectorSet, k: usize, max_iters: usize, seed: u64) -> Result<KMeans> {
+    let n = data.len();
+    if k == 0 {
+        return Err(IndexError::invalid("k", "must be >= 1"));
+    }
+    if n < k {
+        return Err(IndexError::InsufficientTrainingData { need: k, got: n });
+    }
+    let dim = data.dim();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut centroids = seed_plus_plus(data, k, &mut rng);
+    let mut assignments = vec![0usize; n];
+    let mut inertia = f64::INFINITY;
+    let mut iterations = 0;
+
+    for iter in 0..max_iters.max(1) {
+        iterations = iter + 1;
+        // Assignment step (parallel, SIMD kernels under the hood).
+        let stats: Vec<(usize, f32)> = (0..n)
+            .into_par_iter()
+            .map(|i| nearest_centroid(&centroids, data.get(i)))
+            .collect();
+        let new_inertia: f64 = stats.iter().map(|s| s.1 as f64).sum();
+        for (i, s) in stats.iter().enumerate() {
+            assignments[i] = s.0;
+        }
+
+        // Update step.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0usize; k];
+        for (i, &c) in assignments.iter().enumerate() {
+            counts[c] += 1;
+            let row = data.get(i);
+            for (d, &x) in row.iter().enumerate() {
+                sums[c * dim + d] += x as f64;
+            }
+        }
+        let mut next = VectorSet::with_capacity(dim, k);
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with a random training point so the
+                // codebook keeps exactly k usable codewords.
+                next.push(data.get(rng.gen_range(0..n)));
+            } else {
+                let inv = 1.0 / counts[c] as f64;
+                let row: Vec<f32> =
+                    (0..dim).map(|d| (sums[c * dim + d] * inv) as f32).collect();
+                next.push(&row);
+            }
+        }
+        centroids = next;
+
+        // Convergence: relative inertia improvement below 0.1%.
+        if new_inertia.is_finite() && inertia.is_finite() {
+            let rel = (inertia - new_inertia).abs() / inertia.max(1e-12);
+            inertia = new_inertia;
+            if rel < 1e-3 {
+                break;
+            }
+        } else {
+            inertia = new_inertia;
+        }
+    }
+
+    Ok(KMeans { centroids, inertia, iterations })
+}
+
+/// K-means++ seeding: first centroid uniform, the rest D²-weighted.
+fn seed_plus_plus(data: &VectorSet, k: usize, rng: &mut StdRng) -> VectorSet {
+    let n = data.len();
+    let mut centroids = VectorSet::with_capacity(data.dim(), k);
+    centroids.push(data.get(rng.gen_range(0..n)));
+    let mut d2: Vec<f32> = (0..n)
+        .map(|i| distance::l2_sq(data.get(i), centroids.get(0)))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().map(|&x| x as f64).sum();
+        let pick = if total <= 0.0 {
+            // All points coincide with current centroids; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &x) in d2.iter().enumerate() {
+                target -= x as f64;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(data.get(pick));
+        let c = centroids.len() - 1;
+        for (i, slot) in d2.iter_mut().enumerate() {
+            let d = distance::l2_sq(data.get(i), centroids.get(c));
+            if d < *slot {
+                *slot = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(per: usize, centers: &[[f32; 2]], spread: f32, seed: u64) -> VectorSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut vs = VectorSet::new(2);
+        for c in centers {
+            for _ in 0..per {
+                vs.push(&[
+                    c[0] + rng.gen_range(-spread..spread),
+                    c[1] + rng.gen_range(-spread..spread),
+                ]);
+            }
+        }
+        vs
+    }
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let data = blobs(50, &[[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]], 0.5, 1);
+        let km = train(&data, 3, 25, 42).unwrap();
+        assert_eq!(km.k(), 3);
+        // Every point should land within 2.0 of its centroid.
+        for v in data.iter() {
+            let (_, d) = nearest_centroid(&km.centroids, v);
+            assert!(d < 4.0, "point too far from centroid: {d}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(30, &[[0.0, 0.0], [5.0, 5.0]], 0.3, 7);
+        let a = train(&data, 2, 10, 9).unwrap();
+        let b = train(&data, 2, 10, 9).unwrap();
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn errors_on_too_few_points() {
+        let data = blobs(1, &[[0.0, 0.0]], 0.1, 3);
+        assert!(matches!(
+            train(&data, 5, 10, 0),
+            Err(IndexError::InsufficientTrainingData { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_on_zero_k() {
+        let data = blobs(5, &[[0.0, 0.0]], 0.1, 3);
+        assert!(train(&data, 0, 10, 0).is_err());
+    }
+
+    #[test]
+    fn assign_multi_orders_by_distance() {
+        let mut cents = VectorSet::new(1);
+        for x in [0.0f32, 10.0, 20.0] {
+            cents.push(&[x]);
+        }
+        let km = KMeans { centroids: cents, inertia: 0.0, iterations: 0 };
+        assert_eq!(km.assign_multi(&[9.0], 2), vec![1, 0]);
+        assert_eq!(km.assign(&[19.0]), 2);
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let mut vs = VectorSet::new(2);
+        for _ in 0..20 {
+            vs.push(&[1.0, 1.0]);
+        }
+        let km = train(&vs, 4, 5, 11).unwrap();
+        assert_eq!(km.k(), 4);
+    }
+}

@@ -1,0 +1,138 @@
+//! Runtime SIMD instruction selection (paper §3.2.2).
+//!
+//! The paper describes factoring the similarity-computing functions into one
+//! source file per ISA level (SSE, AVX, AVX2, AVX-512), compiling each with
+//! the matching flag, and at runtime hooking the right function pointers based
+//! on CPU flags. Rust lets us express the same design with
+//! `#[target_feature]` functions plus `is_x86_feature_detected!`: each level
+//! lives in its own module of [`crate::distance`], and this module picks the
+//! level once at startup and caches the choice in an atomic.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// An ISA level for the distance kernels, ordered from weakest to strongest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum SimdLevel {
+    /// Portable scalar code; always available.
+    Scalar = 0,
+    /// 128-bit SSE (baseline on x86-64).
+    Sse = 1,
+    /// 256-bit AVX2 with FMA.
+    Avx2 = 2,
+    /// 512-bit AVX-512F.
+    Avx512 = 3,
+}
+
+impl SimdLevel {
+    /// All levels from weakest to strongest.
+    pub const ALL: [SimdLevel; 4] =
+        [SimdLevel::Scalar, SimdLevel::Sse, SimdLevel::Avx2, SimdLevel::Avx512];
+
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse => "SSE",
+            SimdLevel::Avx2 => "AVX2",
+            SimdLevel::Avx512 => "AVX512",
+        }
+    }
+
+    /// Whether the current CPU can execute kernels at this level.
+    pub fn supported(self) -> bool {
+        match self {
+            SimdLevel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse => is_x86_feature_detected!("sse4.1"),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => {
+                is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 => is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+static ACTIVE_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn detect_best() -> SimdLevel {
+    for level in SimdLevel::ALL.iter().rev() {
+        if level.supported() {
+            return *level;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// The level kernels currently dispatch to. Detected once, overridable with
+/// [`force_level`] (used by the Figure 12 benchmark to pin AVX2 vs AVX-512).
+pub fn active_level() -> SimdLevel {
+    let raw = ACTIVE_LEVEL.load(Ordering::Relaxed);
+    if raw != LEVEL_UNSET {
+        return match raw {
+            0 => SimdLevel::Scalar,
+            1 => SimdLevel::Sse,
+            2 => SimdLevel::Avx2,
+            _ => SimdLevel::Avx512,
+        };
+    }
+    let best = detect_best();
+    ACTIVE_LEVEL.store(best as u8, Ordering::Relaxed);
+    best
+}
+
+/// Pin dispatch to a specific level. Returns `Err` with the detected best
+/// level if the CPU cannot execute the requested one.
+pub fn force_level(level: SimdLevel) -> Result<(), SimdLevel> {
+    if !level.supported() {
+        return Err(detect_best());
+    }
+    ACTIVE_LEVEL.store(level as u8, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Reset to auto-detection (used by tests that pin levels).
+pub fn reset_level() {
+    ACTIVE_LEVEL.store(LEVEL_UNSET, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_always_supported() {
+        assert!(SimdLevel::Scalar.supported());
+    }
+
+    #[test]
+    fn active_level_is_supported() {
+        reset_level();
+        assert!(active_level().supported());
+    }
+
+    #[test]
+    fn force_and_reset() {
+        assert!(force_level(SimdLevel::Scalar).is_ok());
+        assert_eq!(active_level(), SimdLevel::Scalar);
+        reset_level();
+        assert!(active_level().supported());
+    }
+
+    #[test]
+    fn levels_ordered() {
+        assert!(SimdLevel::Scalar < SimdLevel::Sse);
+        assert!(SimdLevel::Avx2 < SimdLevel::Avx512);
+    }
+}

@@ -1,0 +1,208 @@
+//! Bounded top-k heaps.
+//!
+//! Every search path in the paper maintains "a k-sized heap to store the
+//! results" (§3.2.1). [`TopK`] is a bounded max-heap on internal distance
+//! (smaller = better): the root is the current worst kept result, so a
+//! candidate only enters when it beats the root, and [`TopK::threshold`]
+//! gives the pruning bound used by IVF scans and graph searches.
+
+/// One search result: an external id plus its internal distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Caller-assigned identifier (row id, entity id…).
+    pub id: i64,
+    /// Internal distance, smaller = better (similarities are negated).
+    pub dist: f32,
+}
+
+impl Neighbor {
+    /// Construct a neighbor.
+    #[inline]
+    pub fn new(id: i64, dist: f32) -> Self {
+        Self { id, dist }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Neighbor {
+    /// Orders by distance, tie-broken by id for determinism.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist.total_cmp(&other.dist).then(self.id.cmp(&other.id))
+    }
+}
+
+/// A bounded max-heap keeping the `k` smallest-distance neighbors seen.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<Neighbor>,
+}
+
+impl TopK {
+    /// Create a heap retaining at most `k` results.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k requires k >= 1");
+        Self { k, heap: std::collections::BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Capacity `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current number of retained results.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been pushed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current worst retained distance, or `f32::INFINITY` while the heap
+    /// is not yet full — i.e. the bound a new candidate must beat.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap.peek().map_or(f32::INFINITY, |n| n.dist)
+        }
+    }
+
+    /// Offer a candidate; returns true if it was retained.
+    #[inline]
+    pub fn push(&mut self, id: i64, dist: f32) -> bool {
+        if self.heap.len() < self.k {
+            self.heap.push(Neighbor::new(id, dist));
+            true
+        } else {
+            // Safe: k >= 1 so the heap is non-empty here.
+            let worst = *self.heap.peek().expect("non-empty");
+            let cand = Neighbor::new(id, dist);
+            if cand < worst {
+                self.heap.pop();
+                self.heap.push(cand);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// Drain into a vector sorted ascending by distance (best first).
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+
+    /// Merge another heap's contents into this one (used to combine the
+    /// per-thread heaps of the cache-aware engine, §3.2.1).
+    pub fn merge(&mut self, other: TopK) {
+        for n in other.heap {
+            self.push(n.id, n.dist);
+        }
+    }
+}
+
+/// Merge several already-sorted result lists into a single sorted top-k
+/// (used to combine per-segment results).
+pub fn merge_sorted(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
+    let mut heap = TopK::new(k.max(1));
+    for list in lists {
+        for n in list {
+            heap.push(n.id, n.dist);
+        }
+    }
+    if k == 0 {
+        Vec::new()
+    } else {
+        heap.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut t = TopK::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0].iter().enumerate() {
+            t.push(i as i64, *d);
+        }
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|n| n.dist).collect::<Vec<_>>(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn threshold_tracks_worst() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), f32::INFINITY);
+        t.push(1, 10.0);
+        assert_eq!(t.threshold(), f32::INFINITY); // not full yet
+        t.push(2, 5.0);
+        assert_eq!(t.threshold(), 10.0);
+        t.push(3, 1.0);
+        assert_eq!(t.threshold(), 5.0);
+    }
+
+    #[test]
+    fn rejects_worse_when_full() {
+        let mut t = TopK::new(1);
+        assert!(t.push(1, 1.0));
+        assert!(!t.push(2, 2.0));
+        assert_eq!(t.into_sorted()[0].id, 1);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_id() {
+        let mut t = TopK::new(2);
+        t.push(9, 1.0);
+        t.push(3, 1.0);
+        t.push(5, 1.0);
+        let out = t.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn merge_heaps() {
+        let mut a = TopK::new(3);
+        a.push(1, 1.0);
+        a.push(2, 9.0);
+        let mut b = TopK::new(3);
+        b.push(3, 2.0);
+        b.push(4, 3.0);
+        a.merge(b);
+        let out = a.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn merge_sorted_lists() {
+        let l1 = vec![Neighbor::new(1, 1.0), Neighbor::new(2, 4.0)];
+        let l2 = vec![Neighbor::new(3, 2.0), Neighbor::new(4, 5.0)];
+        let out = merge_sorted(&[l1, l2], 3);
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn merge_sorted_k_zero() {
+        assert!(merge_sorted(&[vec![Neighbor::new(1, 1.0)]], 0).is_empty());
+    }
+}

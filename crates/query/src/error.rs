@@ -1,0 +1,22 @@
+//! Error type for query processing.
+
+use thiserror::Error;
+
+/// Errors produced by the query layer.
+#[derive(Debug, Error)]
+pub enum QueryError {
+    /// Bubbled up from the index layer.
+    #[error("index error: {0}")]
+    Index(#[from] milvus_index::IndexError),
+
+    /// Bubbled up from the storage layer.
+    #[error("storage error: {0}")]
+    Storage(#[from] milvus_storage::StorageError),
+
+    /// Invalid query specification.
+    #[error("invalid query: {0}")]
+    InvalidQuery(String),
+}
+
+/// Convenience alias used throughout the query crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,216 @@
+//! Columnar attribute storage with skip pointers (§2.4).
+//!
+//! "Each attribute column is stored as an array of (key, value) pairs where
+//! the key is the attribute value and value is the row ID, sorted by the key.
+//! Besides that, we build skip pointers (i.e., min/max values) following
+//! Snowflake as indexing for the data pages" — enabling point and range
+//! queries such as `price < 100` to skip non-overlapping pages.
+
+use serde::{Deserialize, Serialize};
+
+/// Entries per page for the skip pointers.
+pub const PAGE_SIZE: usize = 256;
+
+/// Per-page min/max skip pointer.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PageStat {
+    /// Smallest key in the page.
+    pub min: f64,
+    /// Largest key in the page.
+    pub max: f64,
+}
+
+/// A sorted `(key, row-id)` attribute column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttributeColumn {
+    name: String,
+    /// `(attribute value, row id)` sorted by value then id.
+    entries: Vec<(f64, i64)>,
+    /// Skip pointers, one per [`PAGE_SIZE`] entries.
+    pages: Vec<PageStat>,
+}
+
+impl AttributeColumn {
+    /// Build from parallel `values[i]` ↔ `row_ids[i]` arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays differ in length.
+    pub fn build(name: impl Into<String>, values: &[f64], row_ids: &[i64]) -> Self {
+        assert_eq!(values.len(), row_ids.len(), "values/row_ids length mismatch");
+        let mut entries: Vec<(f64, i64)> =
+            values.iter().copied().zip(row_ids.iter().copied()).collect();
+        entries.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let pages = entries
+            .chunks(PAGE_SIZE)
+            .map(|page| PageStat {
+                min: page.first().map_or(f64::INFINITY, |e| e.0),
+                max: page.last().map_or(f64::NEG_INFINITY, |e| e.0),
+            })
+            .collect();
+        Self { name: name.into(), entries, pages }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Column min/max, `None` when empty.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some((self.entries[0].0, self.entries[self.entries.len() - 1].0))
+        }
+    }
+
+    /// Row ids whose value lies in `[lo, hi]` (inclusive range, the paper's
+    /// `a >= p1 && a <= p2` form), using skip pointers + binary search.
+    pub fn range_rows(&self, lo: f64, hi: f64) -> Vec<i64> {
+        if lo > hi || self.entries.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (p, stat) in self.pages.iter().enumerate() {
+            // Skip pointer: page [min,max] disjoint from [lo,hi]?
+            if stat.max < lo || stat.min > hi {
+                continue;
+            }
+            let start = p * PAGE_SIZE;
+            let end = (start + PAGE_SIZE).min(self.entries.len());
+            let page = &self.entries[start..end];
+            // Binary search within the page for the first entry >= lo.
+            let first = page.partition_point(|e| e.0 < lo);
+            for e in &page[first..] {
+                if e.0 > hi {
+                    break;
+                }
+                out.push(e.1);
+            }
+        }
+        out
+    }
+
+    /// Row ids with value exactly `key`.
+    pub fn point_rows(&self, key: f64) -> Vec<i64> {
+        self.range_rows(key, key)
+    }
+
+    /// Count of rows in `[lo, hi]` without materializing them (selectivity
+    /// estimation for the cost-based filtering strategy, §4.1 D).
+    pub fn count_range(&self, lo: f64, hi: f64) -> usize {
+        if lo > hi || self.entries.is_empty() {
+            return 0;
+        }
+        let first = self.entries.partition_point(|e| e.0 < lo);
+        let last = self.entries.partition_point(|e| e.0 <= hi);
+        last - first
+    }
+
+    /// Attribute value of `row_id`, if present. Linear scan — the column is
+    /// sorted by value, not row id; point lookups by id are rare (entity
+    /// retrieval), range queries are the hot path.
+    pub fn value_of(&self, row_id: i64) -> Option<f64> {
+        self.entries.iter().find(|e| e.1 == row_id).map(|e| e.0)
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * 16 + self.pages.len() * 16
+    }
+
+    /// Iterate `(value, row_id)` in key order (used by segment merge).
+    pub fn iter(&self) -> impl Iterator<Item = (f64, i64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(n: usize) -> AttributeColumn {
+        // values 0..n as f64, row ids reversed so sorting matters.
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let rows: Vec<i64> = (0..n as i64).rev().collect();
+        AttributeColumn::build("price", &values, &rows)
+    }
+
+    #[test]
+    fn range_query_inclusive() {
+        let c = col(100);
+        let rows = c.range_rows(10.0, 12.0);
+        // value v was paired with row id 99 - v.
+        let mut expect = vec![89, 88, 87];
+        expect.sort_unstable();
+        let mut got = rows.clone();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn range_spanning_pages_uses_all_pages() {
+        let c = col(PAGE_SIZE * 3 + 10);
+        let rows = c.range_rows(0.0, (PAGE_SIZE * 3 + 9) as f64);
+        assert_eq!(rows.len(), PAGE_SIZE * 3 + 10);
+    }
+
+    #[test]
+    fn disjoint_range_is_empty() {
+        let c = col(50);
+        assert!(c.range_rows(100.0, 200.0).is_empty());
+        assert!(c.range_rows(-10.0, -1.0).is_empty());
+        assert!(c.range_rows(5.0, 4.0).is_empty());
+    }
+
+    #[test]
+    fn point_query() {
+        let c = col(20);
+        assert_eq!(c.point_rows(7.0), vec![12]);
+        assert!(c.point_rows(7.5).is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_all_returned() {
+        let values = vec![5.0, 5.0, 5.0, 1.0];
+        let rows = vec![1, 2, 3, 4];
+        let c = AttributeColumn::build("a", &values, &rows);
+        let mut got = c.point_rows(5.0);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn count_range_matches_materialized() {
+        let c = col(1000);
+        for (lo, hi) in [(0.0, 999.0), (10.0, 10.0), (500.5, 600.5), (2000.0, 3000.0)] {
+            assert_eq!(c.count_range(lo, hi), c.range_rows(lo, hi).len());
+        }
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(col(10).min_max(), Some((0.0, 9.0)));
+        let empty = AttributeColumn::build("e", &[], &[]);
+        assert_eq!(empty.min_max(), None);
+        assert!(empty.range_rows(0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn skip_pointers_one_per_page() {
+        let c = col(PAGE_SIZE * 2 + 1);
+        assert_eq!(c.pages.len(), 3);
+        assert_eq!(c.pages[0].min, 0.0);
+        assert_eq!(c.pages[0].max, (PAGE_SIZE - 1) as f64);
+    }
+}

@@ -1,0 +1,236 @@
+//! Segment-granular LRU bufferpool (§2.4).
+//!
+//! "Milvus assumes that most (if not all) data and index are resident in
+//! memory for high performance. If not, it relies on an LRU-based buffer
+//! manager. In particular, the caching unit is a segment." Readers call
+//! [`BufferPool::get_or_load`]; misses invoke the supplied loader (typically
+//! an object-store fetch + decode) and may evict the least recently used
+//! segments to stay within the byte budget.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::Result;
+use crate::segment::Segment;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Requests served from cache.
+    pub hits: u64,
+    /// Requests that invoked the loader.
+    pub misses: u64,
+    /// Segments evicted to make room.
+    pub evictions: u64,
+}
+
+struct Entry {
+    segment: Arc<Segment>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    clock: u64,
+    used_bytes: usize,
+    stats: PoolStats,
+}
+
+/// LRU cache of segments keyed by segment id.
+pub struct BufferPool {
+    capacity_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity_bytes` of segment payloads.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            capacity_bytes,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+                used_bytes: 0,
+                stats: PoolStats::default(),
+            }),
+        }
+    }
+
+    /// Byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().used_bytes
+    }
+
+    /// Cached segment count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Fetch `id` from cache, else run `load` and cache the result.
+    pub fn get_or_load(
+        &self,
+        id: u64,
+        load: impl FnOnce() -> Result<Arc<Segment>>,
+    ) -> Result<Arc<Segment>> {
+        {
+            let mut inner = self.inner.lock();
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(e) = inner.entries.get_mut(&id) {
+                e.last_used = clock;
+                let seg = Arc::clone(&e.segment);
+                inner.stats.hits += 1;
+                return Ok(seg);
+            }
+            inner.stats.misses += 1;
+        }
+        // Load outside the lock (a real fetch can be slow).
+        let segment = load()?;
+        self.insert_with_key(id, Arc::clone(&segment));
+        Ok(segment)
+    }
+
+    /// Insert (or refresh) a segment under its own id.
+    pub fn insert(&self, segment: Arc<Segment>) {
+        self.insert_with_key(segment.id, segment);
+    }
+
+    /// Insert (or refresh) a segment under an explicit cache key (callers
+    /// that cache multiple shards/versions compose their own keys), evicting
+    /// LRU entries if over budget.
+    pub fn insert_with_key(&self, key: u64, segment: Arc<Segment>) {
+        let bytes = segment.memory_bytes();
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.entries.remove(&key) {
+            inner.used_bytes -= old.bytes;
+        }
+        inner.entries.insert(key, Entry { segment, bytes, last_used: clock });
+        inner.used_bytes += bytes;
+        // Evict LRU until within budget (never evict the entry just added if
+        // it alone exceeds capacity — it is in use by the caller).
+        while inner.used_bytes > self.capacity_bytes && inner.entries.len() > 1 {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("non-empty");
+            let e = inner.entries.remove(&victim).expect("present");
+            inner.used_bytes -= e.bytes;
+            inner.stats.evictions += 1;
+        }
+    }
+
+    /// Drop a segment (e.g. after it was merged away).
+    pub fn invalidate(&self, id: u64) {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.entries.remove(&id) {
+            inner.used_bytes -= e.bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::{InsertBatch, Schema};
+    use milvus_index::{Metric, VectorSet};
+
+    fn seg(id: u64, rows: usize) -> Arc<Segment> {
+        let schema = Schema::single("v", 4, Metric::L2);
+        let ids: Vec<i64> = (0..rows as i64).map(|i| i + id as i64 * 10_000).collect();
+        let batch = InsertBatch::single(ids, VectorSet::from_flat(4, vec![0.0; rows * 4]));
+        Arc::new(Segment::from_batch(id, &schema, &batch).unwrap())
+    }
+
+    #[test]
+    fn hit_after_load() {
+        let pool = BufferPool::new(1 << 20);
+        let s = seg(1, 10);
+        let got = pool.get_or_load(1, || Ok(Arc::clone(&s))).unwrap();
+        assert!(Arc::ptr_eq(&got, &s));
+        let again = pool.get_or_load(1, || panic!("should be cached")).unwrap();
+        assert!(Arc::ptr_eq(&again, &s));
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 1, evictions: 0 });
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Each 10-row segment is 10*(4*4+8) = 240 bytes; budget fits ~2.
+        let pool = BufferPool::new(500);
+        pool.insert(seg(1, 10));
+        pool.insert(seg(2, 10));
+        // Touch 1 so 2 becomes LRU.
+        pool.get_or_load(1, || panic!("cached")).unwrap();
+        pool.insert(seg(3, 10));
+        assert_eq!(pool.len(), 2);
+        // 2 must be gone; 1 and 3 remain.
+        let mut reloaded = false;
+        pool.get_or_load(2, || {
+            reloaded = true;
+            Ok(seg(2, 10))
+        })
+        .unwrap();
+        assert!(reloaded, "segment 2 should have been evicted");
+        assert!(pool.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn oversized_segment_still_served() {
+        let pool = BufferPool::new(10); // tiny budget
+        let s = seg(1, 100);
+        let got = pool.get_or_load(1, || Ok(Arc::clone(&s))).unwrap();
+        assert!(Arc::ptr_eq(&got, &s));
+        assert_eq!(pool.len(), 1); // kept despite exceeding budget (single entry)
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let pool = BufferPool::new(1 << 20);
+        pool.insert(seg(5, 10));
+        assert_eq!(pool.len(), 1);
+        pool.invalidate(5);
+        assert!(pool.is_empty());
+        assert_eq!(pool.used_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_accounting() {
+        let pool = BufferPool::new(1 << 20);
+        pool.insert(seg(1, 10));
+        let b1 = pool.used_bytes();
+        pool.insert(seg(1, 20));
+        assert!(pool.used_bytes() > b1);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn loader_error_propagates_and_not_cached() {
+        let pool = BufferPool::new(1 << 20);
+        let r = pool.get_or_load(9, || {
+            Err(crate::error::StorageError::ObjectNotFound("9".into()))
+        });
+        assert!(r.is_err());
+        assert!(pool.is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! Categorical attribute columns — the paper's stated future work ("in the
+//! future, we plan to support categorical attributes with indexes like
+//! inverted lists or bitmaps", §2.1) — implemented here as an extension.
+//!
+//! Values are dictionary-encoded; each category gets both an **inverted
+//! list** (sorted row ids) and a **bitmap** over the row positions, so
+//! equality and IN-list predicates resolve without scanning, and multi-
+//! category predicates combine with bitwise OR/AND.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A packed bitmap over row positions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// An empty bitmap of `len` rows.
+    pub fn new(len: usize) -> Self {
+        Self { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Test bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bitwise OR (union of categories).
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            len: self.len,
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect(),
+        }
+    }
+
+    /// Bitwise AND (conjunction of predicates).
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            len: self.len,
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+        }
+    }
+
+    /// Positions of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.get(i))
+    }
+}
+
+/// A dictionary-encoded categorical column with inverted-list and bitmap
+/// indexes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CategoricalColumn {
+    name: String,
+    /// Category string → dictionary code.
+    dictionary: HashMap<String, u32>,
+    /// Dictionary code → category string.
+    labels: Vec<String>,
+    /// Per-row dictionary codes (row-aligned with the segment).
+    codes: Vec<u32>,
+    /// Row ids aligned with `codes`.
+    row_ids: Vec<i64>,
+    /// Per-category inverted list of row ids (sorted).
+    inverted: Vec<Vec<i64>>,
+    /// Per-category bitmap over row positions.
+    bitmaps: Vec<Bitmap>,
+}
+
+impl CategoricalColumn {
+    /// Build from parallel `values[i]` ↔ `row_ids[i]`.
+    ///
+    /// # Panics
+    /// Panics if the arrays differ in length.
+    pub fn build(name: impl Into<String>, values: &[&str], row_ids: &[i64]) -> Self {
+        assert_eq!(values.len(), row_ids.len(), "values/row_ids length mismatch");
+        let mut dictionary: HashMap<String, u32> = HashMap::new();
+        let mut labels: Vec<String> = Vec::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for &v in values {
+            let code = *dictionary.entry(v.to_string()).or_insert_with(|| {
+                labels.push(v.to_string());
+                (labels.len() - 1) as u32
+            });
+            codes.push(code);
+        }
+        let n = values.len();
+        let mut inverted: Vec<Vec<i64>> = vec![Vec::new(); labels.len()];
+        let mut bitmaps: Vec<Bitmap> = (0..labels.len()).map(|_| Bitmap::new(n)).collect();
+        for (row, (&code, &id)) in codes.iter().zip(row_ids).enumerate() {
+            inverted[code as usize].push(id);
+            bitmaps[code as usize].set(row);
+        }
+        for list in &mut inverted {
+            list.sort_unstable();
+        }
+        Self { name: name.into(), dictionary, labels, codes, row_ids: row_ids.to_vec(), inverted, bitmaps }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Distinct categories, in first-seen order.
+    pub fn categories(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Row ids with value exactly `category` (inverted-list lookup).
+    pub fn rows_eq(&self, category: &str) -> &[i64] {
+        match self.dictionary.get(category) {
+            Some(&code) => &self.inverted[code as usize],
+            None => &[],
+        }
+    }
+
+    /// Bitmap of rows matching any of `categories` (IN-list predicate).
+    pub fn bitmap_in(&self, categories: &[&str]) -> Bitmap {
+        let mut acc = Bitmap::new(self.len());
+        for c in categories {
+            if let Some(&code) = self.dictionary.get(*c) {
+                acc = acc.or(&self.bitmaps[code as usize]);
+            }
+        }
+        acc
+    }
+
+    /// Row ids matching any of `categories`, sorted.
+    pub fn rows_in(&self, categories: &[&str]) -> Vec<i64> {
+        let bm = self.bitmap_in(categories);
+        let mut out: Vec<i64> = bm.iter_ones().map(|row| self.row_ids[row]).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The category of `row_id`, if present.
+    pub fn value_of(&self, row_id: i64) -> Option<&str> {
+        let row = self.row_ids.iter().position(|&id| id == row_id)?;
+        Some(&self.labels[self.codes[row] as usize])
+    }
+
+    /// Selectivity of an equality predicate (fraction of rows *failing* it,
+    /// matching the numeric column's convention).
+    pub fn selectivity_eq(&self, category: &str) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.rows_eq(category).len() as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col() -> CategoricalColumn {
+        let values = ["shirt", "shoe", "shirt", "hat", "shoe", "shirt"];
+        let rows = [10i64, 11, 12, 13, 14, 15];
+        CategoricalColumn::build("kind", &values, &rows)
+    }
+
+    #[test]
+    fn equality_lookup_via_inverted_list() {
+        let c = col();
+        assert_eq!(c.rows_eq("shirt"), &[10, 12, 15]);
+        assert_eq!(c.rows_eq("hat"), &[13]);
+        assert!(c.rows_eq("sock").is_empty());
+    }
+
+    #[test]
+    fn in_list_via_bitmap_or() {
+        let c = col();
+        assert_eq!(c.rows_in(&["shoe", "hat"]), vec![11, 13, 14]);
+        assert_eq!(c.rows_in(&["missing"]), Vec::<i64>::new());
+        // The bitmap count matches the inverted lists.
+        assert_eq!(c.bitmap_in(&["shirt"]).count(), 3);
+    }
+
+    #[test]
+    fn bitmap_and_intersects() {
+        let c = col();
+        let shirts = c.bitmap_in(&["shirt"]);
+        let everything = c.bitmap_in(&["shirt", "shoe", "hat"]);
+        assert_eq!(shirts.and(&everything), shirts);
+        assert_eq!(everything.count(), 6);
+    }
+
+    #[test]
+    fn value_lookup_and_selectivity() {
+        let c = col();
+        assert_eq!(c.value_of(13), Some("hat"));
+        assert_eq!(c.value_of(99), None);
+        assert!((c.selectivity_eq("shirt") - 0.5).abs() < 1e-9);
+        assert_eq!(c.selectivity_eq("sock"), 1.0);
+    }
+
+    #[test]
+    fn categories_in_first_seen_order() {
+        assert_eq!(col().categories(), &["shirt", "shoe", "hat"]);
+    }
+
+    #[test]
+    fn bitmap_primitives() {
+        let mut b = Bitmap::new(70);
+        b.set(0);
+        b.set(64);
+        b.set(69);
+        assert!(b.get(64));
+        assert!(!b.get(1));
+        assert!(!b.get(1000));
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 64, 69]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitmap_set_out_of_range_panics() {
+        Bitmap::new(8).set(8);
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = CategoricalColumn::build("e", &[], &[]);
+        assert!(c.is_empty());
+        assert!(c.rows_in(&["x"]).is_empty());
+        assert_eq!(c.selectivity_eq("x"), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for the storage engine.
+
+use thiserror::Error;
+
+/// Errors produced by storage operations.
+#[derive(Debug, Error)]
+pub enum StorageError {
+    /// A batch did not match the collection schema.
+    #[error("schema violation: {0}")]
+    SchemaViolation(String),
+
+    /// Underlying filesystem / object-store failure.
+    #[error("io error: {0}")]
+    Io(#[from] std::io::Error),
+
+    /// Object not present in the object store.
+    #[error("object not found: {0}")]
+    ObjectNotFound(String),
+
+    /// A persisted blob failed to decode.
+    #[error("corrupt data: {0}")]
+    Corrupt(String),
+
+    /// WAL serialization failure.
+    #[error("wal encode error: {0}")]
+    WalEncode(#[from] serde_json::Error),
+
+    /// Error bubbled up from the index layer.
+    #[error("index error: {0}")]
+    Index(#[from] milvus_index::IndexError),
+
+    /// A duplicate primary key was inserted.
+    #[error("duplicate entity id: {0}")]
+    DuplicateId(i64),
+}
+
+/// Convenience alias used throughout the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,150 @@
+//! Tiered segment-merge policy (§2.3).
+//!
+//! "Smaller segments are merged into larger ones for fast sequential access.
+//! Milvus implements a tiered merge policy (also used in Apache Lucene) that
+//! aims to merge segments of approximately equal sizes until a configurable
+//! size limit (e.g., 1 GB) is reached."
+//!
+//! Segments are bucketed into size tiers by `log_{tier_factor}(bytes)`; any
+//! tier holding at least `min_segments_per_merge` segments whose combined
+//! size stays under `max_segment_bytes` yields one merge group.
+
+/// Policy knobs.
+#[derive(Debug, Clone)]
+pub struct MergePolicy {
+    /// Size ratio between tiers (Lucene's default is 10).
+    pub tier_factor: f64,
+    /// Minimum segments of a tier to trigger a merge.
+    pub min_segments_per_merge: usize,
+    /// Stop growing segments past this size (the paper's 1 GB).
+    pub max_segment_bytes: usize,
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        Self {
+            tier_factor: 10.0,
+            min_segments_per_merge: 4,
+            max_segment_bytes: 1 << 30,
+        }
+    }
+}
+
+/// A candidate segment as seen by the planner.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentMeta {
+    /// Segment id.
+    pub id: u64,
+    /// Approximate payload bytes.
+    pub bytes: usize,
+}
+
+impl MergePolicy {
+    /// Plan merge groups over the current segments. Each returned group lists
+    /// the segment ids to merge into one new segment.
+    ///
+    /// Segments are sorted by size; a run of segments is "approximately
+    /// equal" when every member is within `tier_factor`× the smallest of the
+    /// run. A run of at least `min_segments_per_merge` members whose combined
+    /// size stays under `max_segment_bytes` becomes one merge group.
+    pub fn plan(&self, segments: &[SegmentMeta]) -> Vec<Vec<u64>> {
+        let mut members: Vec<SegmentMeta> = segments
+            .iter()
+            .copied()
+            // Segments already at the cap never merge again.
+            .filter(|s| s.bytes < self.max_segment_bytes)
+            .collect();
+        members.sort_by_key(|m| m.bytes);
+
+        let mut plans = Vec::new();
+        let mut i = 0;
+        while i < members.len() {
+            let base = members[i].bytes.max(1);
+            let mut group = vec![members[i].id];
+            let mut total = members[i].bytes;
+            let mut j = i + 1;
+            while j < members.len() {
+                let b = members[j].bytes;
+                let same_tier = (b as f64) <= (base as f64) * self.tier_factor;
+                if !same_tier || total + b > self.max_segment_bytes {
+                    break;
+                }
+                group.push(members[j].id);
+                total += b;
+                j += 1;
+            }
+            if group.len() >= self.min_segments_per_merge.max(2) {
+                plans.push(group);
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+        plans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metas(sizes: &[usize]) -> Vec<SegmentMeta> {
+        sizes.iter().enumerate().map(|(i, &b)| SegmentMeta { id: i as u64, bytes: b }).collect()
+    }
+
+    #[test]
+    fn equal_small_segments_merge() {
+        let policy = MergePolicy { min_segments_per_merge: 4, ..Default::default() };
+        let plans = policy.plan(&metas(&[1000, 1100, 900, 1050]));
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].len(), 4);
+    }
+
+    #[test]
+    fn too_few_segments_no_merge() {
+        let policy = MergePolicy { min_segments_per_merge: 4, ..Default::default() };
+        assert!(policy.plan(&metas(&[1000, 1100, 900])).is_empty());
+    }
+
+    #[test]
+    fn different_tiers_do_not_mix() {
+        let policy = MergePolicy { min_segments_per_merge: 2, ..Default::default() };
+        // Two ~1KB segments and two ~10MB segments: two separate groups.
+        let plans = policy.plan(&metas(&[1000, 1200, 10_000_000, 12_000_000]));
+        assert_eq!(plans.len(), 2);
+        for p in &plans {
+            assert_eq!(p.len(), 2);
+        }
+    }
+
+    #[test]
+    fn capped_segments_left_alone() {
+        let policy = MergePolicy {
+            min_segments_per_merge: 2,
+            max_segment_bytes: 1000,
+            ..Default::default()
+        };
+        let plans = policy.plan(&metas(&[1500, 1500, 1500, 1500]));
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn group_respects_size_cap() {
+        let policy = MergePolicy {
+            tier_factor: 10.0,
+            min_segments_per_merge: 2,
+            max_segment_bytes: 250,
+        };
+        // Tier of 100-byte segments; cap allows at most 2 per group.
+        let plans = policy.plan(&metas(&[100, 100, 100, 100]));
+        assert!(!plans.is_empty());
+        for p in &plans {
+            assert!(p.len() <= 2, "group too big: {p:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(MergePolicy::default().plan(&[]).is_empty());
+    }
+}

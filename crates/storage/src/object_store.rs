@@ -1,0 +1,243 @@
+//! Multi-storage abstraction (§2.4, §5.3).
+//!
+//! "Milvus supports multiple file systems including local file systems,
+//! Amazon S3, and HDFS for the underlying data storage." [`ObjectStore`] is
+//! the common interface; [`LocalFsStore`] persists to a directory, and
+//! [`MemoryStore`] is the in-process substitute for S3 used by the
+//! distributed simulation — optionally with a latency model so benchmarks
+//! feel the cost of remote reads.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::error::{Result, StorageError};
+
+/// A flat key → blob store.
+pub trait ObjectStore: Send + Sync {
+    /// Store `data` under `key`, replacing any existing object.
+    fn put(&self, key: &str, data: Bytes) -> Result<()>;
+
+    /// Fetch the object at `key`.
+    fn get(&self, key: &str) -> Result<Bytes>;
+
+    /// Remove the object at `key` (idempotent).
+    fn delete(&self, key: &str) -> Result<()>;
+
+    /// Keys with the given prefix, sorted.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Whether `key` exists.
+    fn exists(&self, key: &str) -> Result<bool> {
+        match self.get(key) {
+            Ok(_) => Ok(true),
+            Err(StorageError::ObjectNotFound(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Local-filesystem backend; keys map to files under a root directory.
+pub struct LocalFsStore {
+    root: PathBuf,
+}
+
+impl LocalFsStore {
+    /// Create (and mkdir) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        // Keys may contain '/' which become subdirectories.
+        self.root.join(key)
+    }
+}
+
+impl ObjectStore for LocalFsStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        let path = self.path_for(key);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename for atomicity.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &data)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        let path = self.path_for(key);
+        match std::fs::read(&path) {
+            Ok(data) => Ok(Bytes::from(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::ObjectNotFound(key.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        match std::fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries = match std::fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for entry in entries {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if let Ok(rel) = path.strip_prefix(&self.root) {
+                    let key = rel.to_string_lossy().replace('\\', "/");
+                    if key.starts_with(prefix) && !key.ends_with(".tmp") {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// In-memory backend simulating a highly-available shared store (S3).
+///
+/// `latency` models the per-request cost of a remote round trip; zero by
+/// default so unit tests stay fast.
+pub struct MemoryStore {
+    objects: Mutex<BTreeMap<String, Bytes>>,
+    latency: Duration,
+}
+
+impl Default for MemoryStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryStore {
+    /// Zero-latency store.
+    pub fn new() -> Self {
+        Self { objects: Mutex::new(BTreeMap::new()), latency: Duration::ZERO }
+    }
+
+    /// Store with a simulated per-request latency.
+    pub fn with_latency(latency: Duration) -> Self {
+        Self { objects: Mutex::new(BTreeMap::new()), latency }
+    }
+
+    fn pay_latency(&self) {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.lock().len()
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.objects.lock().values().map(Bytes::len).sum()
+    }
+}
+
+impl ObjectStore for MemoryStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<()> {
+        self.pay_latency();
+        self.objects.lock().insert(key.to_string(), data);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.pay_latency();
+        self.objects
+            .lock()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StorageError::ObjectNotFound(key.to_string()))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.pay_latency();
+        self.objects.lock().remove(key);
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.pay_latency();
+        Ok(self
+            .objects
+            .lock()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn ObjectStore) {
+        store.put("a/1", Bytes::from_static(b"one")).unwrap();
+        store.put("a/2", Bytes::from_static(b"two")).unwrap();
+        store.put("b/1", Bytes::from_static(b"three")).unwrap();
+
+        assert_eq!(store.get("a/1").unwrap(), Bytes::from_static(b"one"));
+        assert!(store.exists("a/2").unwrap());
+        assert!(!store.exists("a/3").unwrap());
+        assert_eq!(store.list("a/").unwrap(), vec!["a/1".to_string(), "a/2".to_string()]);
+
+        // Overwrite.
+        store.put("a/1", Bytes::from_static(b"uno")).unwrap();
+        assert_eq!(store.get("a/1").unwrap(), Bytes::from_static(b"uno"));
+
+        // Delete is idempotent.
+        store.delete("a/1").unwrap();
+        store.delete("a/1").unwrap();
+        assert!(matches!(store.get("a/1"), Err(StorageError::ObjectNotFound(_))));
+    }
+
+    #[test]
+    fn memory_store_contract() {
+        exercise(&MemoryStore::new());
+    }
+
+    #[test]
+    fn local_fs_store_contract() {
+        let dir = std::env::temp_dir()
+            .join(format!("milvus-objstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(&LocalFsStore::new(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_store_accounting() {
+        let s = MemoryStore::new();
+        s.put("x", Bytes::from_static(b"12345")).unwrap();
+        assert_eq!(s.object_count(), 1);
+        assert_eq!(s.total_bytes(), 5);
+    }
+}

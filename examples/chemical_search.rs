@@ -1,0 +1,70 @@
+//! Chemical structure analysis (paper §6.2): the Apptech drug-discovery use
+//! case. Molecules are encoded as binary fingerprints (bit = substructure
+//! present) and similar compounds are retrieved with the **Tanimoto**
+//! distance — the standard choice for fingerprint similarity. The paper
+//! reports Milvus cutting analysis time "from hours to less than a minute".
+//!
+//! Run with: `cargo run --release -p milvus-examples --bin chemical_search`
+
+use milvus_index::binary::{pack_bits, BinaryVectorSet};
+use milvus_index::Metric;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FINGERPRINT_BITS: usize = 256;
+
+/// Generate a synthetic fingerprint library: `families` scaffold patterns,
+/// each with derivative compounds that share most substructure bits.
+fn fingerprint_library(n: usize, families: usize, seed: u64) -> (BinaryVectorSet, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scaffolds: Vec<Vec<bool>> = (0..families)
+        .map(|_| (0..FINGERPRINT_BITS).map(|_| rng.gen_bool(0.25)).collect())
+        .collect();
+    let mut set = BinaryVectorSet::new(FINGERPRINT_BITS);
+    let mut family_of = Vec::with_capacity(n);
+    for i in 0..n {
+        let f = i % families;
+        // Derivatives: flip ~4% of the scaffold's bits.
+        let bits: Vec<bool> =
+            scaffolds[f].iter().map(|&b| if rng.gen_bool(0.04) { !b } else { b }).collect();
+        set.push(&pack_bits(&bits));
+        family_of.push(f);
+    }
+    (set, family_of)
+}
+
+fn main() {
+    let n = 50_000;
+    let families = 200;
+    let (library, family_of) = fingerprint_library(n, families, 77);
+    println!("compound library: {} fingerprints of {FINGERPRINT_BITS} bits", library.len());
+
+    // A chemist probes with a derivative of family 42's scaffold.
+    let probe_row = family_of.iter().position(|&f| f == 42).expect("family exists");
+    let probe = library.get(probe_row).to_vec();
+
+    for metric in [Metric::Tanimoto, Metric::Jaccard, Metric::Hamming] {
+        let t = std::time::Instant::now();
+        let hits = library.search(metric, &probe, 10);
+        let elapsed = t.elapsed();
+        let same_family = hits.iter().filter(|(row, _)| family_of[*row] == 42).count();
+        println!(
+            "\n{metric}: top-10 in {elapsed:?} — {same_family}/10 from the probe's scaffold family"
+        );
+        for (row, dist) in hits.iter().take(3) {
+            println!("  compound #{row:<6} family {:<4} distance {dist:.4}", family_of[*row]);
+        }
+        assert!(same_family >= 9, "{metric} failed to group the scaffold family");
+    }
+
+    // Novelty screening: a random (unrelated) fingerprint should be distant
+    // from everything.
+    let mut rng = StdRng::seed_from_u64(99);
+    let random_bits: Vec<bool> = (0..FINGERPRINT_BITS).map(|_| rng.gen_bool(0.5)).collect();
+    let novel = pack_bits(&random_bits);
+    let nearest = library.search(Metric::Tanimoto, &novel, 1);
+    println!(
+        "\nnovelty screen: nearest library compound at Tanimoto distance {:.3} (novel ✓)",
+        nearest[0].1
+    );
+}

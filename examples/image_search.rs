@@ -1,0 +1,69 @@
+//! Image search (paper §6.1): the Qichacha trademark / Beike Zhaofang floor
+//! plan use case. Images are represented by deep-learning embeddings
+//! (simulated here with clustered synthetic vectors standing in for
+//! VGG/ResNet features); an HNSW index serves low-latency lookups; new
+//! images stream in continuously and results stay fresh.
+//!
+//! Run with: `cargo run --release -p milvus-examples --bin image_search`
+
+use milvus_core::{CollectionConfig, Milvus};
+use milvus_datagen as datagen;
+use milvus_index::traits::SearchParams;
+use milvus_index::Metric;
+use milvus_storage::{InsertBatch, Schema};
+
+fn main() {
+    let milvus = Milvus::new();
+    // Cosine similarity is the usual choice for CNN embeddings.
+    let schema = Schema::single("image_embedding", 96, Metric::Cosine);
+    let config = CollectionConfig {
+        auto_index_type: Some("HNSW".to_string()),
+        index_threshold_bytes: 1, // index every segment in this demo
+        ..Default::default()
+    };
+    let gallery = milvus
+        .create_collection("trademark_gallery", schema, config)
+        .expect("create collection");
+
+    // Initial catalog: 20k trademark images (cluster id ≈ visual style).
+    let n = 20_000;
+    let images = datagen::deep_like(n, 2024);
+    gallery
+        .insert(InsertBatch::single((0..n as i64).collect(), images.clone()))
+        .expect("insert catalog");
+    gallery.flush().expect("flush");
+    let stats = gallery.stats();
+    println!(
+        "catalog ready: {} images, {} segment(s), {} indexed",
+        stats.live_rows, stats.segments, stats.indexed_segments
+    );
+
+    // A registration check: is this new logo too similar to an existing one?
+    let candidate = datagen::queries_from(&images, 1, 0.02, 7);
+    let hits = gallery
+        .search("image_embedding", candidate.get(0), &SearchParams::top_k(5).with_ef(128))
+        .expect("search");
+    println!("\nsimilarity check for new trademark:");
+    for h in &hits {
+        println!("  image #{:<6} cosine similarity {:.4}", h.id, h.score);
+    }
+    let conflict = hits.first().filter(|h| h.score > 0.98);
+    match conflict {
+        Some(h) => println!("⚠ likely conflict with registered image #{}", h.id),
+        None => println!("no conflict found"),
+    }
+
+    // New uploads arrive while queries keep running (dynamic data, §2.3).
+    let fresh = datagen::deep_like(500, 9); // a new batch of registrations
+    gallery
+        .insert(InsertBatch::single((n as i64..n as i64 + 500).collect(), fresh))
+        .expect("insert fresh batch");
+    gallery.flush().expect("flush");
+    println!("\ningested 500 new images; gallery now {}", gallery.num_entities());
+
+    // Searches see the new snapshot immediately after the flush.
+    let hits = gallery
+        .search("image_embedding", candidate.get(0), &SearchParams::top_k(3).with_ef(128))
+        .expect("search after ingest");
+    println!("post-ingest top-3: {:?}", hits.iter().map(|h| h.id).collect::<Vec<_>>());
+}

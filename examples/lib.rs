@@ -1,0 +1,1 @@
+//! Example-application crate; the binaries in this directory are the runnable examples.

@@ -1,0 +1,71 @@
+//! Quickstart: create a collection, insert entities, flush, and search —
+//! the minimal end-to-end tour of the public API.
+//!
+//! Run with: `cargo run --release -p milvus-examples --bin quickstart`
+
+use milvus_core::{CollectionConfig, Milvus};
+use milvus_index::traits::SearchParams;
+use milvus_index::{Metric, VectorSet};
+use milvus_storage::{InsertBatch, Schema};
+
+fn main() {
+    // A Milvus instance over in-memory shared storage.
+    let milvus = Milvus::new();
+
+    // Entities: one 4-dimensional vector + a numeric "price" attribute.
+    let schema = Schema::single("embedding", 4, Metric::L2).with_attribute("price");
+    let collection = milvus
+        .create_collection("products", schema, CollectionConfig::default())
+        .expect("create collection");
+
+    // Insert 1000 entities in one batch.
+    let n = 1000;
+    let mut vectors = VectorSet::new(4);
+    let mut prices = Vec::new();
+    for i in 0..n {
+        let x = i as f32 / 100.0;
+        vectors.push(&[x.sin(), x.cos(), (x * 0.5).sin(), (x * 0.5).cos()]);
+        prices.push(10.0 + (i % 200) as f64);
+    }
+    collection
+        .insert(InsertBatch {
+            ids: (0..n as i64).collect(),
+            vectors: vec![vectors],
+            attributes: vec![prices],
+        })
+        .expect("insert");
+
+    // Writes are asynchronous (§5.1): flush() makes them searchable.
+    collection.flush().expect("flush");
+    println!("inserted {} entities", collection.num_entities());
+
+    // Vector query: top-5 most similar.
+    let query = [0.8f32, 0.6, 0.4, 0.9];
+    let hits = collection
+        .search("embedding", &query, &SearchParams::top_k(5))
+        .expect("search");
+    println!("\ntop-5 nearest:");
+    for h in &hits {
+        println!("  id={:<4} L2²={:.4}", h.id, h.score);
+    }
+
+    // Attribute filtering: same query, but price must be in [10, 50].
+    let hits = collection
+        .filtered_search("embedding", &query, "price", 10.0, 50.0, &SearchParams::top_k(5))
+        .expect("filtered search");
+    println!("\ntop-5 nearest with price in [10, 50]:");
+    for h in &hits {
+        let entity = collection.get_entity(h.id).expect("entity exists");
+        println!("  id={:<4} L2²={:.4} price={}", h.id, h.score, entity.attributes[0]);
+    }
+
+    // Dynamic data: delete the best match and search again.
+    let best = hits[0].id;
+    collection.delete(vec![best]).expect("delete");
+    collection.flush().expect("flush");
+    let hits = collection
+        .filtered_search("embedding", &query, "price", 10.0, 50.0, &SearchParams::top_k(5))
+        .expect("filtered search");
+    assert!(hits.iter().all(|h| h.id != best));
+    println!("\nafter deleting id={best}, it no longer appears ✓");
+}

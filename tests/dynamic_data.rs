@@ -1,0 +1,159 @@
+//! Dynamic-data integration: the LSM behaviors of §2.3 and the snapshot
+//! isolation of §5.2, exercised through the full stack.
+
+use std::sync::Arc;
+
+use milvus_core::{CollectionConfig, Milvus};
+use milvus_index::traits::SearchParams;
+use milvus_index::{Metric, VectorSet};
+use milvus_storage::merge::MergePolicy;
+use milvus_storage::{InsertBatch, LsmConfig, Schema};
+
+fn collection_with_merge() -> Arc<milvus_core::Collection> {
+    let milvus = Milvus::new();
+    let mut config = CollectionConfig::for_tests();
+    config.lsm = LsmConfig {
+        flush_threshold_bytes: 1 << 20,
+        auto_merge: false,
+        merge_policy: MergePolicy { min_segments_per_merge: 2, ..Default::default() },
+        ..Default::default()
+    };
+    milvus
+        .create_collection("dyn", Schema::single("v", 2, Metric::L2), config)
+        .unwrap()
+}
+
+fn batch(range: std::ops::Range<i64>) -> InsertBatch {
+    let ids: Vec<i64> = range.collect();
+    let mut vs = VectorSet::new(2);
+    for &id in &ids {
+        vs.push(&[id as f32, 0.0]);
+    }
+    InsertBatch::single(ids, vs)
+}
+
+#[test]
+fn interleaved_inserts_deletes_updates() {
+    let col = collection_with_merge();
+    col.insert(batch(0..100)).unwrap();
+    col.flush().unwrap();
+
+    // Delete a range, update (delete+insert) a few ids with shifted vectors.
+    col.delete((10..20).collect()).unwrap();
+    col.delete(vec![50]).unwrap();
+    let mut vs = VectorSet::new(2);
+    vs.push(&[500.0, 0.0]);
+    col.insert(InsertBatch::single(vec![50], vs)).unwrap();
+    col.flush().unwrap();
+
+    assert_eq!(col.num_entities(), 90);
+    // Deleted rows never surface.
+    for probe in 10..20 {
+        let hits = col.search("v", &[probe as f32, 0.0], &SearchParams::top_k(1)).unwrap();
+        assert_ne!(hits[0].id, probe);
+    }
+    // The updated row has its new vector.
+    let e = col.get_entity(50).unwrap();
+    assert_eq!(e.vectors[0], vec![500.0, 0.0]);
+    let hits = col.search("v", &[499.0, 0.0], &SearchParams::top_k(1)).unwrap();
+    assert_eq!(hits[0].id, 50);
+}
+
+#[test]
+fn merge_preserves_query_results() {
+    let col = collection_with_merge();
+    for i in 0..6 {
+        col.insert(batch(i * 50..(i + 1) * 50)).unwrap();
+        col.flush().unwrap();
+    }
+    col.delete(vec![7, 77, 177]).unwrap();
+    col.flush().unwrap();
+    let before: Vec<i64> = col
+        .search("v", &[123.2, 0.0], &SearchParams::top_k(10))
+        .unwrap()
+        .iter()
+        .map(|h| h.id)
+        .collect();
+    let segs_before = col.stats().segments;
+
+    let merges = col.engine().maybe_merge().unwrap();
+    assert!(merges >= 1, "expected at least one merge");
+    assert!(col.stats().segments < segs_before);
+
+    let after: Vec<i64> = col
+        .search("v", &[123.2, 0.0], &SearchParams::top_k(10))
+        .unwrap()
+        .iter()
+        .map(|h| h.id)
+        .collect();
+    assert_eq!(before, after, "merge changed results");
+    assert_eq!(col.num_entities(), 297);
+}
+
+#[test]
+fn pinned_snapshot_survives_concurrent_mutation() {
+    let col = collection_with_merge();
+    col.insert(batch(0..50)).unwrap();
+    col.flush().unwrap();
+
+    let pinned = col.snapshot();
+    assert_eq!(pinned.live_rows(), 50);
+
+    // Mutate heavily after pinning.
+    col.delete((0..25).collect()).unwrap();
+    col.insert(batch(100..150)).unwrap();
+    col.flush().unwrap();
+    col.engine().maybe_merge().unwrap();
+
+    // The pinned view is unchanged; the live view moved on.
+    assert_eq!(pinned.live_rows(), 50);
+    assert!(pinned.locate(3).is_some());
+    assert_eq!(col.num_entities(), 75);
+    assert!(col.snapshot().locate(3).is_none());
+
+    // GC: dropping the pin lets the manager collect it.
+    drop(pinned);
+    let (_, still_pinned) = col.engine().collect_garbage();
+    assert!(still_pinned <= 1, "only the current snapshot should remain pinned");
+}
+
+#[test]
+fn concurrent_readers_and_writer() {
+    let col = collection_with_merge();
+    col.insert(batch(0..200)).unwrap();
+    col.flush().unwrap();
+
+    let col2 = Arc::clone(&col);
+    let reader = std::thread::spawn(move || {
+        // Readers hammer searches while the writer mutates.
+        for i in 0..200 {
+            let hits = col2
+                .search("v", &[(i % 200) as f32, 0.0], &SearchParams::top_k(3))
+                .expect("search during writes");
+            assert!(!hits.is_empty());
+        }
+    });
+    for i in 0..10 {
+        col.delete(vec![i * 13]).unwrap();
+        col.insert(batch(1000 + i * 10..1000 + (i + 1) * 10)).unwrap();
+        col.flush().unwrap();
+    }
+    reader.join().unwrap();
+    assert_eq!(col.num_entities(), 200 - 10 + 100);
+}
+
+#[test]
+fn flush_threshold_creates_segments_automatically() {
+    let milvus = Milvus::new();
+    let mut config = CollectionConfig::for_tests();
+    config.lsm.flush_threshold_bytes = 256; // tiny: every batch flushes
+    let col = milvus
+        .create_collection("auto", Schema::single("v", 2, Metric::L2), config)
+        .unwrap();
+    for i in 0..4 {
+        col.insert(batch(i * 20..(i + 1) * 20)).unwrap();
+    }
+    col.flush().unwrap();
+    assert_eq!(col.num_entities(), 80);
+    assert!(col.stats().segments >= 4, "threshold flushes should fragment");
+}

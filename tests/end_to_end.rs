@@ -1,0 +1,143 @@
+//! End-to-end integration: the full system facade from ingestion to search,
+//! spanning milvus-core, milvus-storage and milvus-index.
+
+use std::sync::Arc;
+
+use milvus_core::{CollectionConfig, Milvus};
+use milvus_datagen as datagen;
+use milvus_index::traits::SearchParams;
+use milvus_index::{Metric, VectorSet};
+use milvus_storage::object_store::LocalFsStore;
+use milvus_storage::{InsertBatch, Schema};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("milvus-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn lifecycle_over_real_workload() {
+    let milvus = Milvus::new();
+    let schema = Schema::single("emb", 96, Metric::L2).with_attribute("ts");
+    let col = milvus
+        .create_collection("videos", schema, CollectionConfig::for_tests())
+        .unwrap();
+
+    let n = 3_000;
+    let data = datagen::deep_like(n, 42);
+    col.insert(InsertBatch {
+        ids: (0..n as i64).collect(),
+        vectors: vec![data.clone()],
+        attributes: vec![datagen::attributes_uniform(n, 0.0, 1000.0, 43)],
+    })
+    .unwrap();
+    col.flush().unwrap();
+    assert_eq!(col.num_entities(), n);
+
+    // Recall of the brute-force segment scan must be perfect.
+    let queries = datagen::queries_from(&data, 20, 0.01, 44);
+    let ids: Vec<i64> = (0..n as i64).collect();
+    let truth = datagen::ground_truth(&data, &ids, &queries, Metric::L2, 10);
+    for (qi, expected) in truth.iter().enumerate() {
+        let hits = col.search("emb", queries.get(qi), &SearchParams::top_k(10)).unwrap();
+        let got: Vec<i64> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(&got, expected, "query {qi}");
+    }
+
+    // Index build changes execution but not (materially) the results.
+    let built = col.build_index("emb", "HNSW").unwrap();
+    assert_eq!(built, 1);
+    let sp = SearchParams { k: 10, ef: 200, ..Default::default() };
+    let mut hits_total = 0;
+    for (qi, expected) in truth.iter().enumerate() {
+        let hits = col.search("emb", queries.get(qi), &sp).unwrap();
+        let tset: std::collections::HashSet<i64> = expected.iter().copied().collect();
+        hits_total += hits.iter().filter(|h| tset.contains(&h.id)).count();
+    }
+    assert!(
+        hits_total as f32 / (queries.len() * 10) as f32 >= 0.95,
+        "indexed recall too low: {hits_total}"
+    );
+}
+
+#[test]
+fn durability_across_restart() {
+    let dir = tmpdir("durability");
+    let store = Arc::new(LocalFsStore::new(dir.join("store")).unwrap());
+    let wal = dir.join("wal.log");
+
+    let schema = Schema::single("v", 8, Metric::L2);
+    let mut config = CollectionConfig::for_tests();
+    config.wal_path = Some(wal.clone());
+
+    let data = datagen::clustered(500, 8, 8, -1.0, 1.0, 0.2, 7);
+    {
+        let milvus = Milvus::with_store(store.clone());
+        let col = milvus.create_collection("persisted", schema.clone(), config.clone()).unwrap();
+        col.insert(InsertBatch::single((0..500).collect(), data.clone())).unwrap();
+        col.flush().unwrap();
+        // More rows that only reach the WAL (no flush) — simulating a crash.
+        col.insert(InsertBatch::single(
+            (500..600).collect(),
+            VectorSet::from_flat(8, vec![0.25; 100 * 8]),
+        ))
+        .unwrap();
+        // Give the async worker a moment to drain, then "crash" (drop).
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    // Restart: flushed segments come from the store, the tail from the WAL.
+    let milvus = Milvus::with_store(store);
+    let col = milvus.create_collection("persisted", schema, config).unwrap();
+    col.flush().unwrap();
+    assert_eq!(col.num_entities(), 600);
+    let hit = col.search("v", data.get(123), &SearchParams::top_k(1)).unwrap();
+    assert_eq!(hit[0].id, 123);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn multiple_collections_are_isolated() {
+    let milvus = Milvus::new();
+    let a = milvus
+        .create_collection("a", Schema::single("v", 4, Metric::L2), CollectionConfig::for_tests())
+        .unwrap();
+    let b = milvus
+        .create_collection("b", Schema::single("v", 4, Metric::L2), CollectionConfig::for_tests())
+        .unwrap();
+    a.insert(InsertBatch::single(vec![1], VectorSet::from_flat(4, vec![1.0; 4]))).unwrap();
+    b.insert(InsertBatch::single(vec![2], VectorSet::from_flat(4, vec![2.0; 4]))).unwrap();
+    a.flush().unwrap();
+    b.flush().unwrap();
+    assert_eq!(a.num_entities(), 1);
+    assert_eq!(b.num_entities(), 1);
+    assert!(a.get_entity(2).is_none());
+    assert!(b.get_entity(1).is_none());
+}
+
+#[test]
+fn stats_reflect_system_state() {
+    let milvus = Milvus::new();
+    let col = milvus
+        .create_collection(
+            "stats",
+            Schema::single("v", 4, Metric::L2),
+            CollectionConfig::for_tests(),
+        )
+        .unwrap();
+    let s0 = col.stats();
+    assert_eq!((s0.segments, s0.live_rows, s0.pending_rows), (0, 0, 0));
+
+    col.insert(InsertBatch::single((0..100).collect(), VectorSet::from_flat(4, vec![0.5; 400])))
+        .unwrap();
+    col.flush().unwrap();
+    col.insert(InsertBatch::single((100..150).collect(), VectorSet::from_flat(4, vec![0.1; 200])))
+        .unwrap();
+    col.flush().unwrap();
+    let s = col.stats();
+    assert_eq!(s.segments, 2);
+    assert_eq!(s.live_rows, 150);
+    assert!(s.memory_bytes > 0);
+}

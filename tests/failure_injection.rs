@@ -1,0 +1,210 @@
+//! Failure injection: storage faults must surface as errors, never corrupt
+//! state or panic.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use milvus_index::{Metric, VectorSet};
+use milvus_storage::object_store::{MemoryStore, ObjectStore};
+use milvus_storage::{InsertBatch, LsmConfig, LsmEngine, Result as StorageResult, Schema, StorageError};
+
+/// A store whose writes/reads can be switched to fail.
+struct FaultyStore {
+    inner: MemoryStore,
+    fail_puts: AtomicBool,
+    fail_gets: AtomicBool,
+    corrupt_gets: AtomicBool,
+}
+
+impl FaultyStore {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            inner: MemoryStore::new(),
+            fail_puts: AtomicBool::new(false),
+            fail_gets: AtomicBool::new(false),
+            corrupt_gets: AtomicBool::new(false),
+        })
+    }
+}
+
+impl ObjectStore for FaultyStore {
+    fn put(&self, key: &str, data: Bytes) -> StorageResult<()> {
+        if self.fail_puts.load(Ordering::SeqCst) {
+            return Err(StorageError::Io(std::io::Error::other("injected put failure")));
+        }
+        self.inner.put(key, data)
+    }
+
+    fn get(&self, key: &str) -> StorageResult<Bytes> {
+        if self.fail_gets.load(Ordering::SeqCst) {
+            return Err(StorageError::Io(std::io::Error::other("injected get failure")));
+        }
+        let data = self.inner.get(key)?;
+        if self.corrupt_gets.load(Ordering::SeqCst) {
+            // Truncate the blob: decoding must error, not panic.
+            return Ok(data.slice(0..data.len().min(10)));
+        }
+        Ok(data)
+    }
+
+    fn delete(&self, key: &str) -> StorageResult<()> {
+        self.inner.delete(key)
+    }
+
+    fn list(&self, prefix: &str) -> StorageResult<Vec<String>> {
+        self.inner.list(prefix)
+    }
+}
+
+fn schema() -> Schema {
+    Schema::single("v", 2, Metric::L2)
+}
+
+fn batch(ids: std::ops::Range<i64>) -> InsertBatch {
+    let id_vec: Vec<i64> = ids.collect();
+    let mut vs = VectorSet::new(2);
+    for &id in &id_vec {
+        vs.push(&[id as f32, 0.0]);
+    }
+    InsertBatch::single(id_vec, vs)
+}
+
+#[test]
+fn flush_error_propagates_and_engine_stays_usable() {
+    let store = FaultyStore::new();
+    let engine = LsmEngine::new(
+        schema(),
+        LsmConfig { auto_merge: false, ..Default::default() },
+        store.clone() as Arc<dyn ObjectStore>,
+        None,
+    )
+    .unwrap();
+
+    engine.insert(batch(0..10)).unwrap();
+    store.fail_puts.store(true, Ordering::SeqCst);
+    assert!(engine.flush().is_err(), "flush must report the injected put failure");
+
+    // Recovery: the fault clears, a later flush succeeds with all data.
+    store.fail_puts.store(false, Ordering::SeqCst);
+    engine.insert(batch(10..20)).unwrap();
+    engine.flush().unwrap();
+    assert!(engine.snapshot().live_rows() >= 10);
+}
+
+#[test]
+fn recover_surfaces_read_failures() {
+    let dir = std::env::temp_dir().join(format!("milvus-fault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal = dir.join("wal.log");
+
+    let store = FaultyStore::new();
+    {
+        let engine = LsmEngine::new(
+            schema(),
+            LsmConfig { auto_merge: false, ..Default::default() },
+            store.clone() as Arc<dyn ObjectStore>,
+            Some(&wal),
+        )
+        .unwrap();
+        engine.insert(batch(0..10)).unwrap();
+        engine.flush().unwrap();
+    }
+
+    // I/O failure during recovery → error, not a half-recovered engine.
+    store.fail_gets.store(true, Ordering::SeqCst);
+    assert!(LsmEngine::recover(
+        schema(),
+        LsmConfig { auto_merge: false, ..Default::default() },
+        store.clone() as Arc<dyn ObjectStore>,
+        &wal,
+    )
+    .is_err());
+
+    // Corrupt blob during recovery → decode error, not a panic.
+    store.fail_gets.store(false, Ordering::SeqCst);
+    store.corrupt_gets.store(true, Ordering::SeqCst);
+    let r = LsmEngine::recover(
+        schema(),
+        LsmConfig { auto_merge: false, ..Default::default() },
+        store.clone() as Arc<dyn ObjectStore>,
+        &wal,
+    );
+    assert!(matches!(r, Err(StorageError::Corrupt(_))));
+
+    // Clean store → full recovery.
+    store.corrupt_gets.store(false, Ordering::SeqCst);
+    let engine = LsmEngine::recover(
+        schema(),
+        LsmConfig { auto_merge: false, ..Default::default() },
+        store as Arc<dyn ObjectStore>,
+        &wal,
+    )
+    .unwrap();
+    assert_eq!(engine.snapshot().live_rows(), 10);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_wal_line_is_an_error_not_a_panic() {
+    let dir = std::env::temp_dir().join(format!("milvus-walcorrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal_path = dir.join("wal.log");
+    {
+        let mut wal = milvus_storage::wal::Wal::open(&wal_path).unwrap();
+        wal.append_insert(batch(0..2)).unwrap();
+    }
+    // Append garbage (torn write).
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().append(true).open(&wal_path).unwrap();
+    writeln!(f, "{{this is not json").unwrap();
+    drop(f);
+    assert!(milvus_storage::wal::Wal::replay(&wal_path).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reader_refresh_failure_keeps_previous_view() {
+    use milvus_distributed::coordinator::Coordinator;
+    use milvus_distributed::reader::ReaderNode;
+    use milvus_distributed::writer::WriterNode;
+    use milvus_index::traits::SearchParams;
+
+    let coordinator = Coordinator::new(2);
+    let store = FaultyStore::new();
+    let writer = WriterNode::new(
+        schema(),
+        LsmConfig { auto_merge: false, ..Default::default() },
+        store.clone() as Arc<dyn ObjectStore>,
+        Arc::clone(&coordinator),
+    )
+    .unwrap();
+    let reader = ReaderNode::register(
+        schema(),
+        coordinator,
+        store.clone() as Arc<dyn ObjectStore>,
+        64 << 20,
+    );
+
+    writer.insert(batch(0..20)).unwrap();
+    writer.flush().unwrap();
+    reader.refresh().unwrap();
+    let before = reader.search("v", &[5.0, 0.0], &SearchParams::top_k(3)).unwrap();
+
+    // Shared storage becomes unreachable: refresh errors, but the reader
+    // keeps serving its last-known view (stateless cache semantics).
+    store.fail_gets.store(true, Ordering::SeqCst);
+    writer.insert(batch(20..40)).unwrap();
+    writer.flush().unwrap();
+    assert!(reader.refresh().is_err());
+    let still = reader.search("v", &[5.0, 0.0], &SearchParams::top_k(3)).unwrap();
+    assert_eq!(before, still);
+
+    // Connectivity returns: the reader catches up.
+    store.fail_gets.store(false, Ordering::SeqCst);
+    reader.refresh().unwrap();
+    let after = reader.search("v", &[25.0, 0.0], &SearchParams::top_k(1)).unwrap();
+    assert_eq!(after[0].id, 25);
+}

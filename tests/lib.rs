@@ -1,0 +1,1 @@
+//! Cross-crate integration test package; see the [[test]] targets.
