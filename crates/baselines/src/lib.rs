@@ -438,7 +438,7 @@ mod tests {
         let mut vs = VectorSet::new(8);
         for i in 0..n {
             let c = (i % 8) as f32;
-            let v: Vec<f32> = (0..8).map(|_| c + rng.gen_range(-0.2..0.2)).collect();
+            let v: Vec<f32> = (0..8).map(|_| c + rng.gen_range(-0.2f32..0.2)).collect();
             vs.push(&v);
         }
         let ids: Vec<i64> = (0..n as i64).collect();

@@ -20,6 +20,7 @@ fn engine(auto_merge: bool) -> LsmEngine {
         auto_merge,
         merge_policy: MergePolicy { min_segments_per_merge: 2, ..Default::default() },
         persist_segments: false,
+        ..Default::default()
     };
     LsmEngine::new(schema, cfg, Arc::new(MemoryStore::new()), None).expect("engine")
 }

@@ -22,7 +22,7 @@ use serde_json::json;
 use crate::util::{banner, qps, Scale, Timer};
 
 /// One measured point of a series.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Series (system/index) name.
     pub system: String,
@@ -32,6 +32,14 @@ pub struct Point {
     pub recall: f32,
     /// Queries per second.
     pub qps: f64,
+}
+
+serde::impl_serde_struct!(Point { system, param, recall, qps });
+
+impl From<Point> for serde_json::Value {
+    fn from(p: Point) -> Self {
+        serde::Serialize::to_value(&p)
+    }
 }
 
 const NPROBES: &[usize] = &[1, 2, 4, 8, 16, 32];

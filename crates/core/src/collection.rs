@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use milvus_index::registry::IndexRegistry;
+use milvus_obs as obs;
 use milvus_index::traits::SearchParams;
 use milvus_index::{Metric, Neighbor, VectorSet};
 use milvus_query::filtering::RangePredicate;
@@ -80,6 +81,8 @@ impl Collection {
         registry: IndexRegistry,
     ) -> Result<Self> {
         schema.validate()?;
+        let mut config = config;
+        config.lsm.metrics_label = name.clone();
         let engine = match &config.wal_path {
             Some(path) if path.exists() => Arc::new(LsmEngine::recover(
                 schema.clone(),
@@ -122,6 +125,9 @@ impl Collection {
     /// Insert entities (asynchronous: acknowledged after the WAL append;
     /// visible to search after the next flush, §5.1).
     pub fn insert(&self, batch: InsertBatch) -> Result<()> {
+        let _span = obs::span(obs::INGEST_LATENCY, &self.name);
+        obs::counter(obs::INGEST_BATCHES, &self.name).inc();
+        obs::counter(obs::INGEST_ROWS, &self.name).add(batch.ids.len() as u64);
         self.ingest.insert(batch)
     }
 
@@ -133,6 +139,7 @@ impl Collection {
     /// Block until all pending operations are applied and flushed (§5.1),
     /// then run the auto-index policy.
     pub fn flush(&self) -> Result<()> {
+        let _span = obs::span(obs::FLUSH_LATENCY, &self.name);
         self.ingest.flush()?;
         if self.config.auto_index_type.is_some() {
             self.ensure_indexes()?;
@@ -186,13 +193,23 @@ impl Collection {
     /// Vector query (§2.1): top-k over `field` across all segments of the
     /// query's snapshot, merged.
     pub fn search(&self, field: &str, query: &[f32], params: &SearchParams) -> Result<Vec<SearchHit>> {
-        let metric = self.metric_of(field)?;
-        let snap = self.engine.snapshot();
-        let mut lists = Vec::with_capacity(snap.segments.len());
-        for seg in &snap.segments {
-            lists.push(seg.search_field(&self.schema, field, query, params, None)?);
+        let _span = obs::span(obs::QUERY_LATENCY, &self.name);
+        obs::counter(obs::QUERY_TOTAL, &self.name).inc();
+        obs::counter(obs::QUERY_NPROBE_EFFECTIVE, &self.name).add(params.nprobe as u64);
+        obs::counter(obs::QUERY_EF_EFFECTIVE, &self.name).add(params.ef as u64);
+        let result = (|| {
+            let metric = self.metric_of(field)?;
+            let snap = self.engine.snapshot();
+            let mut lists = Vec::with_capacity(snap.segments.len());
+            for seg in &snap.segments {
+                lists.push(seg.search_field(&self.schema, field, query, params, None)?);
+            }
+            Ok(self.to_hits(metric, merge_segment_results(&lists, params.k)))
+        })();
+        if result.is_err() {
+            obs::counter(obs::QUERY_ERRORS, &self.name).inc();
         }
-        Ok(self.to_hits(metric, merge_segment_results(&lists, params.k)))
+        result
     }
 
     /// Batch vector query: one result list per query.
@@ -220,6 +237,8 @@ impl Collection {
         hi: f64,
         params: &SearchParams,
     ) -> Result<Vec<SearchHit>> {
+        let _span = obs::span(obs::QUERY_LATENCY, &self.name);
+        obs::counter(obs::QUERY_TOTAL, &self.name).inc();
         let metric = self.metric_of(field)?;
         let ai = self
             .schema
@@ -289,6 +308,7 @@ impl Collection {
         let mut built = 0;
         for seg in &snap.segments {
             if seg.index(field).is_none() && seg.live_rows() > 0 {
+                let _span = obs::span(obs::INDEX_BUILD_LATENCY, &self.name);
                 let next = seg.build_index(
                     &self.schema,
                     field,
@@ -297,6 +317,7 @@ impl Collection {
                     &self.config.build_params,
                 )?;
                 if self.engine.replace_segment(Arc::new(next))? {
+                    obs::counter(obs::INDEX_BUILDS, &self.name).inc();
                     built += 1;
                 }
             }
@@ -345,6 +366,7 @@ impl Collection {
             }
             for vf in &self.schema.vector_fields {
                 if seg.index(&vf.name).is_none() {
+                    let _span = obs::span(obs::INDEX_BUILD_LATENCY, &self.name);
                     let next = seg.build_index(
                         &self.schema,
                         &vf.name,
@@ -353,6 +375,7 @@ impl Collection {
                         &self.config.build_params,
                     )?;
                     if self.engine.replace_segment(Arc::new(next))? {
+                        obs::counter(obs::INDEX_BUILDS, &self.name).inc();
                         built += 1;
                     }
                 }

@@ -1,41 +1,79 @@
 //! Error type for the system facade.
 
-use thiserror::Error;
+use std::fmt;
 
 /// Errors produced by the milvus-core layer.
-#[derive(Debug, Error)]
+#[derive(Debug)]
 pub enum MilvusError {
     /// A collection with this name already exists.
-    #[error("collection already exists: {0}")]
     CollectionExists(String),
 
     /// No collection with this name.
-    #[error("no such collection: {0}")]
     NoSuchCollection(String),
 
     /// No vector field with this name in the schema.
-    #[error("no such vector field: {0}")]
     NoSuchField(String),
 
     /// No attribute field with this name in the schema.
-    #[error("no such attribute: {0}")]
     NoSuchAttribute(String),
 
     /// The ingestion worker is no longer running.
-    #[error("ingest worker stopped")]
     IngestStopped,
 
     /// Bubbled up from the storage layer.
-    #[error("storage error: {0}")]
-    Storage(#[from] milvus_storage::StorageError),
+    Storage(milvus_storage::StorageError),
 
     /// Bubbled up from the index layer.
-    #[error("index error: {0}")]
-    Index(#[from] milvus_index::IndexError),
+    Index(milvus_index::IndexError),
 
     /// Bubbled up from the query layer.
-    #[error("query error: {0}")]
-    Query(#[from] milvus_query::QueryError),
+    Query(milvus_query::QueryError),
+}
+
+impl fmt::Display for MilvusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilvusError::CollectionExists(name) => {
+                write!(f, "collection already exists: {name}")
+            }
+            MilvusError::NoSuchCollection(name) => write!(f, "no such collection: {name}"),
+            MilvusError::NoSuchField(name) => write!(f, "no such vector field: {name}"),
+            MilvusError::NoSuchAttribute(name) => write!(f, "no such attribute: {name}"),
+            MilvusError::IngestStopped => write!(f, "ingest worker stopped"),
+            MilvusError::Storage(e) => write!(f, "storage error: {e}"),
+            MilvusError::Index(e) => write!(f, "index error: {e}"),
+            MilvusError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MilvusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MilvusError::Storage(e) => Some(e),
+            MilvusError::Index(e) => Some(e),
+            MilvusError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<milvus_storage::StorageError> for MilvusError {
+    fn from(e: milvus_storage::StorageError) -> Self {
+        MilvusError::Storage(e)
+    }
+}
+
+impl From<milvus_index::IndexError> for MilvusError {
+    fn from(e: milvus_index::IndexError) -> Self {
+        MilvusError::Index(e)
+    }
+}
+
+impl From<milvus_query::QueryError> for MilvusError {
+    fn from(e: milvus_query::QueryError) -> Self {
+        MilvusError::Query(e)
+    }
 }
 
 /// Convenience alias used throughout milvus-core.

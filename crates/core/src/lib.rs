@@ -116,6 +116,13 @@ impl Milvus {
         v.sort();
         v
     }
+
+    /// Point-in-time copy of the process-wide metrics registry: every
+    /// counter, gauge and latency histogram recorded by the query, ingest
+    /// and storage paths (the programmatic twin of `GET /metrics`).
+    pub fn metrics_snapshot(&self) -> milvus_obs::MetricsSnapshot {
+        milvus_obs::registry().snapshot()
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 //! | `POST /collections/{name}/flush` | — | flush barrier (§5.1) |
 //! | `POST /collections/{name}/search` | `{vector, k, nprobe?, ef?, filter?}` | vector / filtered query |
 //! | `POST /collections/{name}/index` | `{field?, index_type}` | build index |
+//! | `GET /metrics` | — | Prometheus text exposition of all metric series |
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -115,6 +116,18 @@ fn handle_connection(stream: TcpStream, milvus: &Milvus) -> std::io::Result<()> 
         reader.read_exact(&mut body)?;
     }
 
+    // Prometheus scrape endpoint: text exposition format, not JSON.
+    if method == "GET" && path.trim_end_matches('/') == "/metrics" {
+        let text = milvus_obs::registry().render_prometheus();
+        let mut out = stream;
+        write!(
+            out,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{text}",
+            text.len()
+        )?;
+        return out.flush();
+    }
+
     let (status, payload) = route(milvus, &method, &path, &body);
     let body = serde_json::to_string(&payload).unwrap_or_else(|_| "{}".into());
     let mut out = stream;
@@ -130,64 +143,113 @@ fn err(status: &'static str, msg: impl std::fmt::Display) -> (&'static str, Valu
     (status, json!({ "error": msg.to_string() }))
 }
 
-#[derive(Deserialize)]
 struct CreateCollectionReq {
     name: String,
     dim: usize,
-    #[serde(default = "default_metric")]
     metric: String,
-    #[serde(default)]
     attributes: Vec<String>,
 }
 
-fn default_metric() -> String {
-    "L2".into()
+impl Deserialize for CreateCollectionReq {
+    fn from_value(v: &Value) -> Result<Self, serde_json::Error> {
+        Ok(CreateCollectionReq {
+            name: req_field(v, "name")?,
+            dim: req_field(v, "dim")?,
+            metric: opt_field(v, "metric")?.unwrap_or_else(|| "L2".into()),
+            attributes: opt_field(v, "attributes")?.unwrap_or_default(),
+        })
+    }
 }
 
-#[derive(Deserialize)]
 struct InsertReq {
     ids: Vec<i64>,
     /// Row-major vectors: one inner array per entity.
     vectors: Vec<Vec<f32>>,
-    #[serde(default)]
     attributes: Vec<Vec<f64>>,
 }
 
-#[derive(Deserialize)]
+impl Deserialize for InsertReq {
+    fn from_value(v: &Value) -> Result<Self, serde_json::Error> {
+        Ok(InsertReq {
+            ids: req_field(v, "ids")?,
+            vectors: req_field(v, "vectors")?,
+            attributes: opt_field(v, "attributes")?.unwrap_or_default(),
+        })
+    }
+}
+
 struct DeleteReq {
     ids: Vec<i64>,
 }
 
-#[derive(Deserialize)]
+impl Deserialize for DeleteReq {
+    fn from_value(v: &Value) -> Result<Self, serde_json::Error> {
+        Ok(DeleteReq { ids: req_field(v, "ids")? })
+    }
+}
+
 struct SearchReq {
     vector: Vec<f32>,
-    #[serde(default = "default_k")]
     k: usize,
-    #[serde(default)]
     nprobe: Option<usize>,
-    #[serde(default)]
     ef: Option<usize>,
     /// Optional attribute range filter.
-    #[serde(default)]
     filter: Option<FilterReq>,
 }
 
-fn default_k() -> usize {
-    10
+impl Deserialize for SearchReq {
+    fn from_value(v: &Value) -> Result<Self, serde_json::Error> {
+        Ok(SearchReq {
+            vector: req_field(v, "vector")?,
+            k: opt_field(v, "k")?.unwrap_or(10),
+            nprobe: opt_field(v, "nprobe")?,
+            ef: opt_field(v, "ef")?,
+            filter: opt_field(v, "filter")?,
+        })
+    }
 }
 
-#[derive(Deserialize)]
 struct FilterReq {
     attribute: String,
     min: f64,
     max: f64,
 }
 
-#[derive(Deserialize)]
+impl Deserialize for FilterReq {
+    fn from_value(v: &Value) -> Result<Self, serde_json::Error> {
+        Ok(FilterReq {
+            attribute: req_field(v, "attribute")?,
+            min: req_field(v, "min")?,
+            max: req_field(v, "max")?,
+        })
+    }
+}
+
 struct IndexReq {
-    #[serde(default)]
     field: Option<String>,
     index_type: String,
+}
+
+impl Deserialize for IndexReq {
+    fn from_value(v: &Value) -> Result<Self, serde_json::Error> {
+        Ok(IndexReq { field: opt_field(v, "field")?, index_type: req_field(v, "index_type")? })
+    }
+}
+
+/// Required body field; missing or mistyped fields are a 400.
+fn req_field<T: Deserialize>(v: &Value, key: &str) -> Result<T, serde_json::Error> {
+    match v.get(key) {
+        Some(field) if !field.is_null() => T::from_value(field),
+        _ => Err(serde_json::Error::msg(format!("missing field `{key}`"))),
+    }
+}
+
+/// Optional body field; absent or null become `None`.
+fn opt_field<T: Deserialize>(v: &Value, key: &str) -> Result<Option<T>, serde_json::Error> {
+    match v.get(key) {
+        Some(field) if !field.is_null() => T::from_value(field).map(Some),
+        _ => Ok(None),
+    }
 }
 
 /// Dispatch one request.
@@ -459,6 +521,43 @@ mod tests {
         assert!(status.contains("200"), "{status}");
         let (status, _) = http(addr, "GET", "/collections/shop/stats", "");
         assert!(status.contains("404"), "{status}");
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (_server, addr) = server();
+        http(
+            addr,
+            "POST",
+            "/collections",
+            r#"{"name":"obs_rest","dim":2,"metric":"L2"}"#,
+        );
+        http(
+            addr,
+            "POST",
+            "/collections/obs_rest/entities",
+            r#"{"ids":[1],"vectors":[[0.5,0.5]]}"#,
+        );
+        http(addr, "POST", "/collections/obs_rest/flush", "");
+        http(addr, "POST", "/collections/obs_rest/search", r#"{"vector":[0.5,0.5],"k":1}"#);
+
+        // Raw scrape: the body is Prometheus text, not JSON.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        BufReader::new(stream).read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("Content-Type: text/plain"), "{response}");
+        let text = response.split("\r\n\r\n").nth(1).unwrap_or("");
+        assert!(text.contains("# TYPE milvus_query_latency_seconds histogram"), "{text}");
+        assert!(
+            text.contains(r#"milvus_query_total{collection="obs_rest"}"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"milvus_ingest_rows_total{collection="obs_rest"} 1"#),
+            "{text}"
+        );
     }
 
     #[test]

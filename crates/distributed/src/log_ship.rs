@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
+use milvus_obs as obs;
 use milvus_storage::object_store::ObjectStore;
 use milvus_storage::wal::LogRecord;
 use milvus_storage::{InsertBatch, Result as StorageResult};
@@ -46,6 +47,7 @@ impl SharedLog {
         let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
         let blob = serde_json::to_vec(rec)?;
         self.store.put(&log_key(seq), Bytes::from(blob))?;
+        obs::counter(obs::LOG_SHIP_RECORDS, "shared").inc();
         Ok(seq)
     }
 
@@ -89,13 +91,15 @@ impl SharedLog {
             })
             .max()
             .unwrap_or(0);
-        Ok(records
+        let tail: Vec<LogRecord> = records
             .into_iter()
             .filter(|(seq, r)| {
                 !matches!(r, LogRecord::FlushCheckpoint { .. }) && *seq > checkpoint
             })
             .map(|(_, r)| r)
-            .collect())
+            .collect();
+        obs::counter(obs::LOG_APPLY_RECORDS, "shared").add(tail.len() as u64);
+        Ok(tail)
     }
 
     /// The sequence number of the most recently shipped record.

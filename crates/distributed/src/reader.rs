@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use milvus_index::traits::SearchParams;
 use milvus_index::Neighbor;
+use milvus_obs as obs;
 use milvus_storage::bufferpool::BufferPool;
 use milvus_storage::codec;
 use milvus_storage::object_store::ObjectStore;
@@ -95,6 +96,7 @@ impl ReaderNode {
             next.insert(shard, segs);
         }
         *self.segments.write() = next;
+        obs::counter(obs::READER_REFRESHES, "reader").inc();
         Ok(())
     }
 
@@ -137,6 +139,8 @@ impl ReaderNode {
         params: &SearchParams,
     ) -> StorageResult<Vec<Neighbor>> {
         let start = Instant::now();
+        let _span = obs::span(obs::QUERY_LATENCY, "reader");
+        obs::counter(obs::QUERY_TOTAL, "reader").inc();
         let segments = self.segments.read();
         let mut lists = Vec::new();
         for segs in segments.values() {

@@ -6,6 +6,7 @@
 
 use std::sync::Arc;
 
+use milvus_obs as obs;
 use milvus_index::VectorSet;
 use milvus_storage::object_store::ObjectStore;
 use milvus_storage::{InsertBatch, LsmConfig, LsmEngine, Result as StorageResult, Schema};
@@ -113,6 +114,9 @@ impl WriterNode {
     /// shipping is on, the operation is durable in shared storage before the
     /// engines see it.
     pub fn insert(&self, batch: InsertBatch) -> StorageResult<()> {
+        let _span = obs::span(obs::INGEST_LATENCY, "writer");
+        obs::counter(obs::INGEST_BATCHES, "writer").inc();
+        obs::counter(obs::INGEST_ROWS, "writer").add(batch.ids.len() as u64);
         if let Some(log) = &self.shared_log {
             log.ship_insert(batch.clone())?;
         }
@@ -145,6 +149,7 @@ impl WriterNode {
 
     /// Route deletes to the owning shards.
     pub fn delete(&self, ids: &[i64]) -> StorageResult<()> {
+        obs::counter(obs::DELETE_ROWS, "writer").add(ids.len() as u64);
         if let Some(log) = &self.shared_log {
             log.ship_delete(ids.to_vec())?;
         }
@@ -168,6 +173,7 @@ impl WriterNode {
     /// Flush every shard engine; segments land in shared storage. With log
     /// shipping on, a checkpoint is appended so standbys skip replayed work.
     pub fn flush(&self) -> StorageResult<()> {
+        let _span = obs::span(obs::FLUSH_LATENCY, "writer");
         for e in &self.engines {
             e.flush()?;
         }

@@ -12,14 +12,21 @@ use crate::device::GpuDevice;
 
 /// Error raised when a single kernel round is asked for more results than
 /// the device supports.
-#[derive(Debug, thiserror::Error)]
-#[error("k={k} exceeds GPU kernel limit {limit}; use bigk::search")]
+#[derive(Debug)]
 pub struct KernelKLimit {
     /// Requested k.
     pub k: usize,
     /// Device limit.
     pub limit: usize,
 }
+
+impl std::fmt::Display for KernelKLimit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "k={} exceeds GPU kernel limit {}; use bigk::search", self.k, self.limit)
+    }
+}
+
+impl std::error::Error for KernelKLimit {}
 
 /// One top-k kernel launch over a data slice; `filter` drops rows before they
 /// enter the heap (the big-k algorithm's distance/id filtering, §3.3).

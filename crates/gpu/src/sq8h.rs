@@ -336,7 +336,7 @@ mod tests {
         let mut vs = VectorSet::new(8);
         for i in 0..n {
             let c = (i % 10) as f32 * 5.0;
-            let v: Vec<f32> = (0..8).map(|_| c + rng.gen_range(-0.5..0.5)).collect();
+            let v: Vec<f32> = (0..8).map(|_| c + rng.gen_range(-0.5f32..0.5)).collect();
             vs.push(&v);
         }
         let ids: Vec<i64> = (0..n as i64).collect();
@@ -351,7 +351,7 @@ mod tests {
         let mut vs = VectorSet::new(8);
         for i in 0..m {
             let c = (i % 10) as f32 * 5.0;
-            let v: Vec<f32> = (0..8).map(|_| c + rng.gen_range(-0.5..0.5)).collect();
+            let v: Vec<f32> = (0..8).map(|_| c + rng.gen_range(-0.5f32..0.5)).collect();
             vs.push(&v);
         }
         vs

@@ -17,6 +17,8 @@
 //!   avoid synchronization; per-query heaps are merged at the end. Each
 //!   thread touches the data `m/(s·t)` times — `s`× fewer than Faiss.
 
+use milvus_obs as obs;
+
 use crate::distance;
 use crate::metric::Metric;
 use crate::topk::{Neighbor, TopK};
@@ -70,6 +72,8 @@ pub fn faiss_style_search(
     if m == 0 || data.is_empty() {
         return vec![Vec::new(); m];
     }
+    obs::counter(obs::BATCH_QUERIES, "faiss_style").add(m as u64);
+    let _span = obs::span(obs::BATCH_LATENCY, "faiss_style");
     let threads = opts.threads.max(1).min(m);
     let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); m];
 
@@ -109,6 +113,8 @@ pub fn cache_aware_search(
     if m == 0 || n == 0 {
         return vec![Vec::new(); m];
     }
+    obs::counter(obs::BATCH_QUERIES, "cache_aware").add(m as u64);
+    let _span = obs::span(obs::BATCH_LATENCY, "cache_aware");
     let k = opts.k.max(1);
     let t = opts.threads.max(1).min(n);
     let s = query_block_size(opts.l3_cache_bytes, data.dim(), t, k).min(m);

@@ -1,34 +1,51 @@
 //! Error type shared by all index operations.
 
-use thiserror::Error;
+use std::fmt;
 
 /// Errors produced by index construction and search.
-#[derive(Debug, Error)]
+#[derive(Debug)]
 pub enum IndexError {
     /// A vector had a different dimensionality than the index expects.
-    #[error("dimension mismatch: index expects {expected}, got {got}")]
     DimensionMismatch { expected: usize, got: usize },
 
     /// The operation needs a trained index (e.g. IVF before add/search).
-    #[error("index is not trained: {0}")]
     NotTrained(&'static str),
 
     /// Not enough training points for the requested structure.
-    #[error("insufficient training data: need at least {need}, got {got}")]
     InsufficientTrainingData { need: usize, got: usize },
 
     /// A parameter was outside its valid range.
-    #[error("invalid parameter {name}: {reason}")]
     InvalidParameter { name: &'static str, reason: String },
 
     /// The metric is not supported by this index type.
-    #[error("metric {metric} unsupported by {index}")]
     UnsupportedMetric { metric: &'static str, index: &'static str },
 
     /// No index with the given name is registered in the index registry.
-    #[error("unknown index type: {0}")]
     UnknownIndexType(String),
 }
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: index expects {expected}, got {got}")
+            }
+            IndexError::NotTrained(what) => write!(f, "index is not trained: {what}"),
+            IndexError::InsufficientTrainingData { need, got } => {
+                write!(f, "insufficient training data: need at least {need}, got {got}")
+            }
+            IndexError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            IndexError::UnsupportedMetric { metric, index } => {
+                write!(f, "metric {metric} unsupported by {index}")
+            }
+            IndexError::UnknownIndexType(name) => write!(f, "unknown index type: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
 
 /// Convenience alias used throughout the index crate.
 pub type Result<T> = std::result::Result<T, IndexError>;

@@ -265,7 +265,7 @@ mod tests {
         let mut vs = VectorSet::new(dim);
         for i in 0..n {
             let c = (i % 8) as f32 * 3.0;
-            let v: Vec<f32> = (0..dim).map(|_| c + rng.gen_range(-0.3..0.3)).collect();
+            let v: Vec<f32> = (0..dim).map(|_| c + rng.gen_range(-0.3f32..0.3)).collect();
             vs.push(&v);
         }
         (vs, (0..n as i64).collect())

@@ -19,7 +19,6 @@ pub mod codec;
 pub mod pq;
 pub mod sq8;
 
-use serde::{Deserialize, Serialize};
 
 use crate::distance;
 use crate::error::{IndexError, Result};
@@ -33,7 +32,7 @@ use pq::ProductQuantizer;
 use sq8::ScalarQuantizer;
 
 /// Which fine quantizer an IVF index uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IvfVariant {
     /// Original vectors (IVF_FLAT).
     Flat,
@@ -42,6 +41,8 @@ pub enum IvfVariant {
     /// Product quantization (IVF_PQ).
     Pq,
 }
+
+serde::impl_serde_unit_enum!(IvfVariant { Flat, Sq8, Pq });
 
 impl IvfVariant {
     /// Registry name.
@@ -485,7 +486,7 @@ mod tests {
         for i in 0..n {
             let center = (i % 8) as f32 * 10.0;
             let v: Vec<f32> =
-                (0..dim).map(|_| center + rng.gen_range(-1.0..1.0)).collect();
+                (0..dim).map(|_| center + rng.gen_range(-1.0f32..1.0)).collect();
             vs.push(&v);
         }
         let ids = (0..n as i64).collect();
@@ -508,7 +509,7 @@ mod tests {
         for _ in 0..20 {
             let center = rng.gen_range(0..8) as f32 * 10.0;
             let q: Vec<f32> =
-                (0..16).map(|_| center + rng.gen_range(-1.0..1.0)).collect();
+                (0..16).map(|_| center + rng.gen_range(-1.0f32..1.0)).collect();
             let sp = SearchParams { k: 10, nprobe, ..Default::default() };
             let truth = flat.search(&q, &sp).unwrap();
             let got = ivf.search(&q, &sp).unwrap();

@@ -5,18 +5,19 @@
 //! float value to a 1-byte integer." Each dimension gets its own `[min, max]`
 //! range learned from the training data; values are mapped affinely to 0..=255.
 
-use serde::{Deserialize, Serialize};
 
 use crate::vectors::VectorSet;
 
 /// Per-dimension affine quantizer `f32 → u8`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScalarQuantizer {
     /// Per-dimension minimum of the training data.
     vmin: Vec<f32>,
     /// Per-dimension `(max - min) / 255`, zero for constant dimensions.
     vstep: Vec<f32>,
 }
+
+serde::impl_serde_struct!(ScalarQuantizer { vmin, vstep });
 
 impl ScalarQuantizer {
     /// Learn per-dimension ranges from `data`.

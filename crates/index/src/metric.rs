@@ -9,10 +9,9 @@
 //! better**: inner product and cosine are negated. This lets every index and
 //! heap in the crate order candidates the same way.
 
-use serde::{Deserialize, Serialize};
 
 /// A similarity function.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Metric {
     /// Squared Euclidean distance (L2²). Monotonic in L2, cheaper to compute.
     L2,
@@ -27,6 +26,8 @@ pub enum Metric {
     /// Tanimoto distance over bit-packed binary vectors (chemical search, §6.2).
     Tanimoto,
 }
+
+serde::impl_serde_unit_enum!(Metric { L2, InnerProduct, Cosine, Hamming, Jaccard, Tanimoto });
 
 impl Metric {
     /// True when the raw metric is a similarity (higher = better) that the

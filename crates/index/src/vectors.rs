@@ -3,14 +3,15 @@
 //! the vectors continuously without explicitly storing the row IDs", sorted
 //! by row ID so row `i`'s vector is at offset `i * dim`).
 
-use serde::{Deserialize, Serialize};
 
 /// A row-major matrix of `f32` vectors, all of dimension `dim`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct VectorSet {
     dim: usize,
     data: Vec<f32>,
 }
+
+serde::impl_serde_struct!(VectorSet { dim, data });
 
 impl VectorSet {
     /// Create an empty set of `dim`-dimensional vectors.

@@ -1,0 +1,529 @@
+//! Observability layer: metrics and span timing for the query / ingest /
+//! storage paths.
+//!
+//! Tuning an ANN system is an empirical loop over measured
+//! recall/latency/memory tradeoffs (Douze et al. 2024; Pan et al. 2023), so
+//! instrumentation is built into the system rather than bolted onto
+//! benchmarks. Design goals:
+//!
+//! - **Lock-light hot path.** Every metric is a plain atomic. The registry's
+//!   `RwLock` is only taken to *look up or create* a metric; callers hold on
+//!   to the returned `Arc` handle, so steady-state recording is a single
+//!   `fetch_add` (counters/histograms) with no lock at all.
+//! - **Per-collection families.** A metric is identified by `(name, label)`
+//!   where the label is usually the collection name; `label = ""` means the
+//!   process-wide series.
+//! - **Fixed-bucket latency histograms.** Powers-of-four microsecond buckets
+//!   from 1µs to ~17s; p50/p95/p99 are interpolated from bucket counts at
+//!   snapshot time, never maintained inline.
+//! - **Two consumers.** [`Registry::render_prometheus`] produces Prometheus
+//!   text exposition for `GET /metrics`; [`Registry::snapshot`] produces a
+//!   programmatic [`MetricsSnapshot`] for tests and `Milvus::metrics_snapshot`.
+//!
+//! The process-global [`registry()`] is what the system crates record into;
+//! tests that assert on deltas should capture a snapshot before acting and
+//! subtract (other tests in the same process may be recording concurrently,
+//! so absolute values are only meaningful for collection-labeled series the
+//! test owns).
+
+mod render;
+
+pub use render::render_prometheus;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Upper bounds (µs) of the latency histogram buckets: 4^k from 1µs to
+/// ~17s. The final implicit bucket is +Inf.
+pub const BUCKET_BOUNDS_US: [u64; 13] = [
+    1,
+    4,
+    16,
+    64,
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+    16_777_216,
+];
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time signed value (e.g. current segment count).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket latency histogram over microsecond observations.
+#[derive(Debug)]
+pub struct Histogram {
+    /// `counts[i]` = observations ≤ `BUCKET_BOUNDS_US[i]`; the last slot is
+    /// the +Inf bucket.
+    counts: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    sum_us: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation, in microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bucket_counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            count: self.total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (not cumulative) counts; last entry is +Inf.
+    pub bucket_counts: Vec<u64>,
+    pub sum_us: u64,
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Approximate quantile in microseconds, linearly interpolated within
+    /// the winning bucket. `q` in [0, 1]. Returns 0 for empty histograms.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &c) in self.bucket_counts.iter().enumerate() {
+            if c == 0 {
+                seen += c;
+                continue;
+            }
+            if (seen + c) as f64 >= rank {
+                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_US[i - 1] };
+                let upper = if i < BUCKET_BOUNDS_US.len() {
+                    BUCKET_BOUNDS_US[i]
+                } else {
+                    // +Inf bucket: report its lower bound.
+                    return BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] as f64;
+                };
+                let into = (rank - seen as f64) / c as f64;
+                return lower as f64 + into * (upper - lower) as f64;
+            }
+            seen += c;
+        }
+        BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] as f64
+    }
+
+    pub fn p50_us(&self) -> f64 {
+        self.quantile_us(0.50)
+    }
+
+    pub fn p95_us(&self) -> f64 {
+        self.quantile_us(0.95)
+    }
+
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// A `(metric name, label value)` pair; the label is by convention the
+/// collection name, `""` for process-wide series.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key {
+    pub name: String,
+    pub label: String,
+}
+
+impl Key {
+    fn new(name: &str, label: &str) -> Self {
+        Key { name: name.to_string(), label: label.to_string() }
+    }
+}
+
+/// Lock-light metric registry. Handle lookup takes a read lock; recording
+/// through a handle is purely atomic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<Key, Arc<Counter>>>,
+    gauges: RwLock<HashMap<Key, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<Key, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(
+    map: &RwLock<HashMap<Key, Arc<T>>>,
+    name: &str,
+    label: &str,
+) -> Arc<T> {
+    let key = Key::new(name, label);
+    if let Some(found) = map.read().expect("metrics lock").get(&key) {
+        return Arc::clone(found);
+    }
+    let mut write = map.write().expect("metrics lock");
+    Arc::clone(write.entry(key).or_default())
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter handle for `(name, label)`, creating the series on first use.
+    pub fn counter(&self, name: &str, label: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name, label)
+    }
+
+    /// Gauge handle for `(name, label)`.
+    pub fn gauge(&self, name: &str, label: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name, label)
+    }
+
+    /// Histogram handle for `(name, label)`.
+    pub fn histogram(&self, name: &str, label: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name, label)
+    }
+
+    /// Start an RAII span over `histogram(name, label)`; elapsed time is
+    /// recorded when the guard drops.
+    pub fn span(&self, name: &str, label: &str) -> SpanTimer {
+        SpanTimer { histogram: self.histogram(name, label), start: Instant::now() }
+    }
+
+    /// Immutable copy of every series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("metrics lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("metrics lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("metrics lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Prometheus text exposition (`GET /metrics` body).
+    pub fn render_prometheus(&self) -> String {
+        render::render_prometheus(&self.snapshot())
+    }
+}
+
+/// RAII guard recording elapsed wall time into a histogram on drop.
+pub struct SpanTimer {
+    histogram: Arc<Histogram>,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.histogram.observe_us(self.start.elapsed().as_micros() as u64);
+    }
+}
+
+/// Point-in-time copy of a [`Registry`], ordered for stable iteration.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: std::collections::BTreeMap<Key, u64>,
+    pub gauges: std::collections::BTreeMap<Key, i64>,
+    pub histograms: std::collections::BTreeMap<Key, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, 0 if the series does not exist.
+    pub fn counter(&self, name: &str, label: &str) -> u64 {
+        self.counters.get(&Key::new(name, label)).copied().unwrap_or(0)
+    }
+
+    /// Sum of a counter family across all labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.name == name).map(|(_, v)| v).sum()
+    }
+
+    /// Gauge value, 0 if the series does not exist.
+    pub fn gauge(&self, name: &str, label: &str) -> i64 {
+        self.gauges.get(&Key::new(name, label)).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot, empty if the series does not exist.
+    pub fn histogram(&self, name: &str, label: &str) -> HistogramSnapshot {
+        self.histograms.get(&Key::new(name, label)).cloned().unwrap_or_default()
+    }
+}
+
+/// The process-global registry all system crates record into.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Convenience: `registry().counter(...)`.
+pub fn counter(name: &str, label: &str) -> Arc<Counter> {
+    registry().counter(name, label)
+}
+
+/// Convenience: `registry().gauge(...)`.
+pub fn gauge(name: &str, label: &str) -> Arc<Gauge> {
+    registry().gauge(name, label)
+}
+
+/// Convenience: `registry().histogram(...)`.
+pub fn histogram(name: &str, label: &str) -> Arc<Histogram> {
+    registry().histogram(name, label)
+}
+
+/// Convenience: `registry().span(...)`.
+pub fn span(name: &str, label: &str) -> SpanTimer {
+    registry().span(name, label)
+}
+
+// ---------------------------------------------------------------------------
+// Metric name constants, so call sites and tests cannot drift apart.
+// ---------------------------------------------------------------------------
+
+/// Query latency histogram (per collection).
+pub const QUERY_LATENCY: &str = "milvus_query_latency_seconds";
+/// Queries served (per collection).
+pub const QUERY_TOTAL: &str = "milvus_query_total";
+/// Query failures (per collection).
+pub const QUERY_ERRORS: &str = "milvus_query_errors_total";
+/// Effective nprobe used by IVF searches (per collection, counter of probes).
+pub const QUERY_NPROBE_EFFECTIVE: &str = "milvus_query_nprobe_effective_total";
+/// Effective ef used by HNSW searches (per collection, counter).
+pub const QUERY_EF_EFFECTIVE: &str = "milvus_query_ef_effective_total";
+/// Rows accepted by insert (per collection).
+pub const INGEST_ROWS: &str = "milvus_ingest_rows_total";
+/// Insert batches accepted (per collection).
+pub const INGEST_BATCHES: &str = "milvus_ingest_batches_total";
+/// Insert latency histogram (per collection).
+pub const INGEST_LATENCY: &str = "milvus_ingest_latency_seconds";
+/// Entities deleted (per collection).
+pub const DELETE_ROWS: &str = "milvus_delete_rows_total";
+/// flush() barrier latency (per collection).
+pub const FLUSH_LATENCY: &str = "milvus_flush_latency_seconds";
+/// WAL records appended (process-wide; storage layer).
+pub const WAL_APPENDS: &str = "milvus_wal_appends_total";
+/// WAL bytes appended.
+pub const WAL_BYTES: &str = "milvus_wal_bytes_total";
+/// Memtable flushes to segments.
+pub const MEMTABLE_FLUSHES: &str = "milvus_memtable_flushes_total";
+/// Memtable flush latency.
+pub const MEMTABLE_FLUSH_LATENCY: &str = "milvus_memtable_flush_latency_seconds";
+/// Segment merges (compactions) completed.
+pub const COMPACTIONS: &str = "milvus_compactions_total";
+/// Compaction latency.
+pub const COMPACTION_LATENCY: &str = "milvus_compaction_latency_seconds";
+/// Current live segment count (gauge).
+pub const SEGMENTS: &str = "milvus_segments";
+/// Index builds completed (per collection).
+pub const INDEX_BUILDS: &str = "milvus_index_builds_total";
+/// Index build latency.
+pub const INDEX_BUILD_LATENCY: &str = "milvus_index_build_latency_seconds";
+/// Object-store put calls.
+pub const OBJECT_PUTS: &str = "milvus_object_store_put_total";
+/// Object-store get calls.
+pub const OBJECT_GETS: &str = "milvus_object_store_get_total";
+/// Object-store bytes written.
+pub const OBJECT_PUT_BYTES: &str = "milvus_object_store_put_bytes_total";
+/// Object-store bytes read.
+pub const OBJECT_GET_BYTES: &str = "milvus_object_store_get_bytes_total";
+/// Object-store put/get failures (includes injected faults).
+pub const OBJECT_ERRORS: &str = "milvus_object_store_errors_total";
+/// Batch-engine queries executed through the cache-aware engine.
+pub const BATCH_QUERIES: &str = "milvus_batch_engine_queries_total";
+/// Batch-engine batch latency.
+pub const BATCH_LATENCY: &str = "milvus_batch_engine_latency_seconds";
+/// Log records shipped by the distributed writer.
+pub const LOG_SHIP_RECORDS: &str = "milvus_log_ship_records_total";
+/// Log records applied by distributed readers.
+pub const LOG_APPLY_RECORDS: &str = "milvus_log_apply_records_total";
+/// Distributed reader refreshes.
+pub const READER_REFRESHES: &str = "milvus_reader_refreshes_total";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter(QUERY_TOTAL, "col");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge(SEGMENTS, "col");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter(QUERY_TOTAL, "col"), 5);
+        assert_eq!(snap.gauge(SEGMENTS, "col"), 5);
+        assert_eq!(snap.counter(QUERY_TOTAL, "absent"), 0);
+    }
+
+    #[test]
+    fn same_key_returns_same_series() {
+        let r = Registry::new();
+        r.counter("x", "a").inc();
+        r.counter("x", "a").inc();
+        r.counter("x", "b").inc();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x", "a"), 2);
+        assert_eq!(snap.counter("x", "b"), 1);
+        assert_eq!(snap.counter_total("x"), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        // 100 observations at ~10µs, 10 at ~100ms, 1 at ~10s.
+        for _ in 0..100 {
+            h.observe_us(10);
+        }
+        for _ in 0..10 {
+            h.observe_us(100_000);
+        }
+        h.observe_us(10_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 111);
+        assert_eq!(s.sum_us, 100 * 10 + 10 * 100_000 + 10_000_000);
+        let p50 = s.p50_us();
+        assert!(p50 <= 16.0, "p50={p50}");
+        let p99 = s.p99_us();
+        assert!(p99 > 50_000.0, "p99={p99}");
+        // Monotonic in q.
+        assert!(s.quantile_us(0.5) <= s.quantile_us(0.95));
+        assert!(s.quantile_us(0.95) <= s.quantile_us(0.999));
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(HistogramSnapshot::default().quantile_us(0.99), 0.0);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let r = Registry::new();
+        {
+            let _t = r.span(QUERY_LATENCY, "c");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let s = r.snapshot().histogram(QUERY_LATENCY, "c");
+        assert_eq!(s.count, 1);
+        assert!(s.sum_us >= 1_000, "sum_us={}", s.sum_us);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let r = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                let c = r.counter("concurrent", "");
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.snapshot().counter("concurrent", ""), 80_000);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = registry() as *const _;
+        let b = registry() as *const _;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Prometheus text exposition (version 0.0.4) of a [`MetricsSnapshot`].
+
+use crate::{HistogramSnapshot, Key, MetricsSnapshot, BUCKET_BOUNDS_US};
+
+fn label_suffix(key: &Key, extra: Option<(&str, String)>) -> String {
+    let mut parts = Vec::new();
+    if !key.label.is_empty() {
+        parts.push(format!("collection=\"{}\"", key.label));
+    }
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn render_histogram(out: &mut String, key: &Key, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, &c) in h.bucket_counts.iter().enumerate() {
+        cumulative += c;
+        let le = if i < BUCKET_BOUNDS_US.len() {
+            // Bounds are microseconds; Prometheus convention is seconds.
+            format!("{}", BUCKET_BOUNDS_US[i] as f64 / 1e6)
+        } else {
+            "+Inf".to_string()
+        };
+        out.push_str(&format!(
+            "{}_bucket{} {}\n",
+            key.name,
+            label_suffix(key, Some(("le", le))),
+            cumulative
+        ));
+    }
+    out.push_str(&format!(
+        "{}_sum{} {}\n",
+        key.name,
+        label_suffix(key, None),
+        h.sum_us as f64 / 1e6
+    ));
+    out.push_str(&format!("{}_count{} {}\n", key.name, label_suffix(key, None), h.count));
+}
+
+/// Render the snapshot in Prometheus text format, one `# TYPE` header per
+/// metric family, series ordered by name then label.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    let mut last_family = "";
+    for (key, value) in &snap.counters {
+        if key.name != last_family {
+            out.push_str(&format!("# TYPE {} counter\n", key.name));
+            last_family = &key.name;
+        }
+        out.push_str(&format!("{}{} {}\n", key.name, label_suffix(key, None), value));
+    }
+
+    let mut last_family = "";
+    for (key, value) in &snap.gauges {
+        if key.name != last_family {
+            out.push_str(&format!("# TYPE {} gauge\n", key.name));
+            last_family = &key.name;
+        }
+        out.push_str(&format!("{}{} {}\n", key.name, label_suffix(key, None), value));
+    }
+
+    let mut last_family = "";
+    for (key, h) in &snap.histograms {
+        if key.name != last_family {
+            out.push_str(&format!("# TYPE {} histogram\n", key.name));
+            last_family = &key.name;
+        }
+        render_histogram(&mut out, key, h);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn prometheus_output_contains_families_and_buckets() {
+        let r = Registry::new();
+        r.counter("milvus_ingest_rows_total", "col_a").add(12);
+        r.counter("milvus_ingest_rows_total", "col_b").add(3);
+        r.gauge("milvus_segments", "col_a").set(4);
+        r.histogram("milvus_query_latency_seconds", "col_a").observe_us(100);
+        let text = r.render_prometheus();
+
+        assert!(text.contains("# TYPE milvus_ingest_rows_total counter"));
+        assert!(text.contains("milvus_ingest_rows_total{collection=\"col_a\"} 12"));
+        assert!(text.contains("milvus_ingest_rows_total{collection=\"col_b\"} 3"));
+        assert!(text.contains("# TYPE milvus_segments gauge"));
+        assert!(text.contains("milvus_segments{collection=\"col_a\"} 4"));
+        assert!(text.contains("# TYPE milvus_query_latency_seconds histogram"));
+        assert!(text.contains("milvus_query_latency_seconds_bucket{collection=\"col_a\",le=\"+Inf\"} 1"));
+        assert!(text.contains("milvus_query_latency_seconds_count{collection=\"col_a\"} 1"));
+        // Buckets are cumulative: the 256µs bucket already includes the
+        // 100µs observation.
+        assert!(text.contains("le=\"0.000256\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn unlabeled_series_render_without_braces() {
+        let r = Registry::new();
+        r.counter("milvus_wal_appends_total", "").add(2);
+        let text = r.render_prometheus();
+        assert!(text.contains("milvus_wal_appends_total 2\n"), "{text}");
+    }
+}

@@ -1,21 +1,50 @@
 //! Error type for query processing.
 
-use thiserror::Error;
+use std::fmt;
 
 /// Errors produced by the query layer.
-#[derive(Debug, Error)]
+#[derive(Debug)]
 pub enum QueryError {
     /// Bubbled up from the index layer.
-    #[error("index error: {0}")]
-    Index(#[from] milvus_index::IndexError),
+    Index(milvus_index::IndexError),
 
     /// Bubbled up from the storage layer.
-    #[error("storage error: {0}")]
-    Storage(#[from] milvus_storage::StorageError),
+    Storage(milvus_storage::StorageError),
 
     /// Invalid query specification.
-    #[error("invalid query: {0}")]
     InvalidQuery(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Index(e) => write!(f, "index error: {e}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+            QueryError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Index(e) => Some(e),
+            QueryError::Storage(e) => Some(e),
+            QueryError::InvalidQuery(_) => None,
+        }
+    }
+}
+
+impl From<milvus_index::IndexError> for QueryError {
+    fn from(e: milvus_index::IndexError) -> Self {
+        QueryError::Index(e)
+    }
+}
+
+impl From<milvus_storage::StorageError> for QueryError {
+    fn from(e: milvus_storage::StorageError) -> Self {
+        QueryError::Storage(e)
+    }
 }
 
 /// Convenience alias used throughout the query crate.

@@ -6,13 +6,12 @@
 //! Snowflake as indexing for the data pages" — enabling point and range
 //! queries such as `price < 100` to skip non-overlapping pages.
 
-use serde::{Deserialize, Serialize};
 
 /// Entries per page for the skip pointers.
 pub const PAGE_SIZE: usize = 256;
 
 /// Per-page min/max skip pointer.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PageStat {
     /// Smallest key in the page.
     pub min: f64,
@@ -20,8 +19,10 @@ pub struct PageStat {
     pub max: f64,
 }
 
+serde::impl_serde_struct!(PageStat { min, max });
+
 /// A sorted `(key, row-id)` attribute column.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AttributeColumn {
     name: String,
     /// `(attribute value, row id)` sorted by value then id.
@@ -29,6 +30,8 @@ pub struct AttributeColumn {
     /// Skip pointers, one per [`PAGE_SIZE`] entries.
     pages: Vec<PageStat>,
 }
+
+serde::impl_serde_struct!(AttributeColumn { name, entries, pages });
 
 impl AttributeColumn {
     /// Build from parallel `values[i]` ↔ `row_ids[i]` arrays.

@@ -9,14 +9,15 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
 
 /// A packed bitmap over row positions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bitmap {
     len: usize,
     words: Vec<u64>,
 }
+
+serde::impl_serde_struct!(Bitmap { len, words });
 
 impl Bitmap {
     /// An empty bitmap of `len` rows.
@@ -76,7 +77,7 @@ impl Bitmap {
 
 /// A dictionary-encoded categorical column with inverted-list and bitmap
 /// indexes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CategoricalColumn {
     name: String,
     /// Category string → dictionary code.
@@ -92,6 +93,16 @@ pub struct CategoricalColumn {
     /// Per-category bitmap over row positions.
     bitmaps: Vec<Bitmap>,
 }
+
+serde::impl_serde_struct!(CategoricalColumn {
+    name,
+    dictionary,
+    labels,
+    codes,
+    row_ids,
+    inverted,
+    bitmaps,
+});
 
 impl CategoricalColumn {
     /// Build from parallel `values[i]` ↔ `row_ids[i]`.

@@ -6,12 +6,11 @@
 //! the column-oriented unit of ingestion.
 
 use milvus_index::{Metric, VectorSet};
-use serde::{Deserialize, Serialize};
 
 use crate::error::{Result, StorageError};
 
 /// One vector field of an entity (multi-vector entities have several, §4.2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VectorField {
     /// Field name, e.g. `"image_embedding"`.
     pub name: String,
@@ -21,8 +20,10 @@ pub struct VectorField {
     pub metric: Metric,
 }
 
+serde::impl_serde_struct!(VectorField { name, dim, metric });
+
 /// Collection schema: one or more vector fields plus numeric attributes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schema {
     /// Vector fields, at least one.
     pub vector_fields: Vec<VectorField>,
@@ -91,8 +92,10 @@ impl Schema {
     }
 }
 
+serde::impl_serde_struct!(Schema { vector_fields, attribute_fields });
+
 /// A column-oriented batch of entities to insert.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InsertBatch {
     /// Entity primary keys.
     pub ids: Vec<i64>,
@@ -101,6 +104,8 @@ pub struct InsertBatch {
     /// One column per schema attribute field, each with `ids.len()` values.
     pub attributes: Vec<Vec<f64>>,
 }
+
+serde::impl_serde_struct!(InsertBatch { ids, vectors, attributes });
 
 impl InsertBatch {
     /// Convenience constructor for single-vector schemas without attributes.

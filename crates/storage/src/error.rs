@@ -1,37 +1,73 @@
 //! Error type for the storage engine.
 
-use thiserror::Error;
+use std::fmt;
 
 /// Errors produced by storage operations.
-#[derive(Debug, Error)]
+#[derive(Debug)]
 pub enum StorageError {
     /// A batch did not match the collection schema.
-    #[error("schema violation: {0}")]
     SchemaViolation(String),
 
     /// Underlying filesystem / object-store failure.
-    #[error("io error: {0}")]
-    Io(#[from] std::io::Error),
+    Io(std::io::Error),
 
     /// Object not present in the object store.
-    #[error("object not found: {0}")]
     ObjectNotFound(String),
 
     /// A persisted blob failed to decode.
-    #[error("corrupt data: {0}")]
     Corrupt(String),
 
     /// WAL serialization failure.
-    #[error("wal encode error: {0}")]
-    WalEncode(#[from] serde_json::Error),
+    WalEncode(serde_json::Error),
 
     /// Error bubbled up from the index layer.
-    #[error("index error: {0}")]
-    Index(#[from] milvus_index::IndexError),
+    Index(milvus_index::IndexError),
 
     /// A duplicate primary key was inserted.
-    #[error("duplicate entity id: {0}")]
     DuplicateId(i64),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::SchemaViolation(msg) => write!(f, "schema violation: {msg}"),
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::ObjectNotFound(key) => write!(f, "object not found: {key}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::WalEncode(e) => write!(f, "wal encode error: {e}"),
+            StorageError::Index(e) => write!(f, "index error: {e}"),
+            StorageError::DuplicateId(id) => write!(f, "duplicate entity id: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::WalEncode(e) => Some(e),
+            StorageError::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for StorageError {
+    fn from(e: serde_json::Error) -> Self {
+        StorageError::WalEncode(e)
+    }
+}
+
+impl From<milvus_index::IndexError> for StorageError {
+    fn from(e: milvus_index::IndexError) -> Self {
+        StorageError::Index(e)
+    }
 }
 
 /// Convenience alias used throughout the storage crate.

@@ -9,6 +9,7 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use milvus_obs as obs;
 use parking_lot::Mutex;
 
 use crate::codec;
@@ -34,6 +35,9 @@ pub struct LsmConfig {
     pub auto_merge: bool,
     /// Persist segments to the object store on flush/merge.
     pub persist_segments: bool,
+    /// Label stamped on this engine's metric series — the collection name
+    /// when the engine backs a collection.
+    pub metrics_label: String,
 }
 
 impl Default for LsmConfig {
@@ -43,6 +47,7 @@ impl Default for LsmConfig {
             merge_policy: MergePolicy::default(),
             auto_merge: true,
             persist_segments: true,
+            metrics_label: "default".to_string(),
         }
     }
 }
@@ -76,7 +81,7 @@ impl LsmEngine {
     ) -> Result<Self> {
         schema.validate()?;
         let wal = match wal_path {
-            Some(p) => Some(Mutex::new(Wal::open(p)?)),
+            Some(p) => Some(Mutex::new(Wal::open(p)?.with_label(&config.metrics_label))),
             None => None,
         };
         Ok(Self {
@@ -116,7 +121,7 @@ impl LsmEngine {
         let mut segments = Vec::new();
         let mut max_id = 0;
         for (id, (version, key)) in latest {
-            let blob = store.get(&key)?;
+            let blob = engine.store_get(&key)?;
             segments.push(Arc::new(codec::decode_segment(id, version, &blob)?));
             max_id = max_id.max(id);
         }
@@ -124,6 +129,7 @@ impl LsmEngine {
         if !segments.is_empty() {
             engine.snapshots.publish(segments);
         }
+        engine.record_segment_gauge();
         Ok(engine)
     }
 
@@ -170,6 +176,49 @@ impl LsmEngine {
     /// Pin the current snapshot (§5.2).
     pub fn snapshot(&self) -> Arc<Snapshot> {
         self.snapshots.current()
+    }
+
+    /// `store.put` with per-collection throughput and error accounting.
+    /// Injected faults surface here as [`obs::OBJECT_ERRORS`] increments.
+    fn store_put(&self, key: &str, data: bytes::Bytes) -> Result<()> {
+        let label = &self.config.metrics_label;
+        let bytes = data.len() as u64;
+        match self.store.put(key, data) {
+            Ok(()) => {
+                obs::counter(obs::OBJECT_PUTS, label).inc();
+                obs::counter(obs::OBJECT_PUT_BYTES, label).add(bytes);
+                Ok(())
+            }
+            Err(e) => {
+                obs::counter(obs::OBJECT_ERRORS, label).inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// `store.get` with per-collection throughput and error accounting.
+    /// A missing object is a lookup result, not a store fault.
+    fn store_get(&self, key: &str) -> Result<bytes::Bytes> {
+        let label = &self.config.metrics_label;
+        match self.store.get(key) {
+            Ok(data) => {
+                obs::counter(obs::OBJECT_GETS, label).inc();
+                obs::counter(obs::OBJECT_GET_BYTES, label).add(data.len() as u64);
+                Ok(data)
+            }
+            Err(e) => {
+                if !matches!(e, crate::error::StorageError::ObjectNotFound(_)) {
+                    obs::counter(obs::OBJECT_ERRORS, label).inc();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Publish the current segment count to the [`obs::SEGMENTS`] gauge.
+    fn record_segment_gauge(&self) {
+        let count = self.snapshots.current().segments.len() as i64;
+        obs::gauge(obs::SEGMENTS, &self.config.metrics_label).set(count);
     }
 
     /// Entities buffered but not yet flushed.
@@ -258,6 +307,7 @@ impl LsmEngine {
 
     /// §5.1 split path: apply a previously-logged delete to the memtable.
     pub fn apply_delete(&self, ids: &[i64]) {
+        obs::counter(obs::DELETE_ROWS, &self.config.metrics_label).add(ids.len() as u64);
         self.memtable.lock().delete(ids);
     }
 
@@ -266,6 +316,7 @@ impl LsmEngine {
         if let Some(wal) = &self.wal {
             wal.lock().append_delete(ids.to_vec())?;
         }
+        obs::counter(obs::DELETE_ROWS, &self.config.metrics_label).add(ids.len() as u64);
         self.memtable.lock().delete(ids);
         Ok(())
     }
@@ -274,6 +325,9 @@ impl LsmEngine {
     /// tombstone versions, publish a new snapshot and checkpoint the WAL.
     pub fn flush(&self) -> Result<Arc<Snapshot>> {
         let (batch, deletes) = self.memtable.lock().drain();
+        let did_work = !batch.is_empty() || !deletes.is_empty();
+        let span = did_work
+            .then(|| obs::span(obs::MEMTABLE_FLUSH_LATENCY, &self.config.metrics_label));
         let snap = self.snapshots.current();
         let mut segments: Vec<Arc<Segment>> = snap.segments.clone();
 
@@ -284,7 +338,7 @@ impl LsmEngine {
                 if slot.data().row_ids.iter().any(|id| dels.contains(id)) {
                     let next = Arc::new(slot.with_deletes(dels.iter().copied()));
                     if self.config.persist_segments {
-                        self.store.put(
+                        self.store_put(
                             &segment_key(next.id, next.version),
                             codec::encode_segment(&next),
                         )?;
@@ -300,12 +354,17 @@ impl LsmEngine {
             let id = self.next_segment_id.fetch_add(1, Ordering::SeqCst);
             let seg = Arc::new(Segment::from_batch(id, &self.schema, &batch)?);
             if self.config.persist_segments {
-                self.store.put(&segment_key(seg.id, seg.version), codec::encode_segment(&seg))?;
+                self.store_put(&segment_key(seg.id, seg.version), codec::encode_segment(&seg))?;
             }
             segments.push(seg);
         }
 
         let _published = self.snapshots.publish(segments);
+        self.record_segment_gauge();
+        if did_work {
+            obs::counter(obs::MEMTABLE_FLUSHES, &self.config.metrics_label).inc();
+        }
+        drop(span);
 
         if let Some(wal) = &self.wal {
             let mut wal = wal.lock();
@@ -332,6 +391,8 @@ impl LsmEngine {
         if plans.is_empty() {
             return Ok(0);
         }
+        let _span = obs::span(obs::COMPACTION_LATENCY, &self.config.metrics_label);
+        obs::counter(obs::COMPACTIONS, &self.config.metrics_label).add(plans.len() as u64);
         let mut segments = snap.segments.clone();
         for group in &plans {
             let group_set: HashSet<u64> = group.iter().copied().collect();
@@ -346,8 +407,7 @@ impl LsmEngine {
             let new_id = self.next_segment_id.fetch_add(1, Ordering::SeqCst);
             let merged = Arc::new(Segment::merge(new_id, &self.schema, &inputs));
             if self.config.persist_segments {
-                self.store
-                    .put(&segment_key(merged.id, merged.version), codec::encode_segment(&merged))?;
+                self.store_put(&segment_key(merged.id, merged.version), codec::encode_segment(&merged))?;
                 for s in &segments {
                     if group_set.contains(&s.id) {
                         self.store.delete(&segment_key(s.id, s.version))?;
@@ -358,6 +418,7 @@ impl LsmEngine {
             segments.push(merged);
         }
         self.snapshots.publish(segments);
+        self.record_segment_gauge();
         Ok(plans.len())
     }
 
@@ -370,12 +431,12 @@ impl LsmEngine {
             return Ok(false);
         };
         if self.config.persist_segments {
-            self.store
-                .put(&segment_key(updated.id, updated.version), codec::encode_segment(&updated))?;
+            self.store_put(&segment_key(updated.id, updated.version), codec::encode_segment(&updated))?;
             self.store.delete(&segment_key(slot.id, slot.version))?;
         }
         *slot = updated;
         self.snapshots.publish(segments);
+        self.record_segment_gauge();
         Ok(true)
     }
 

@@ -12,13 +12,13 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-use serde::{Deserialize, Serialize};
+use milvus_obs as obs;
 
 use crate::entity::InsertBatch;
 use crate::error::Result;
 
 /// One durable operation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum LogRecord {
     /// An insert batch.
     Insert { lsn: u64, batch: InsertBatch },
@@ -27,6 +27,12 @@ pub enum LogRecord {
     /// Everything up to `lsn` has been flushed into segments.
     FlushCheckpoint { lsn: u64 },
 }
+
+serde::impl_serde_enum!(LogRecord {
+    Insert { lsn, batch },
+    Delete { lsn, ids },
+    FlushCheckpoint { lsn },
+});
 
 impl LogRecord {
     /// The record's log sequence number.
@@ -44,6 +50,8 @@ pub struct Wal {
     path: PathBuf,
     writer: BufWriter<File>,
     next_lsn: u64,
+    /// Metric label (the owning collection's name).
+    label: String,
 }
 
 impl Wal {
@@ -54,7 +62,13 @@ impl Wal {
         let existing = if path.exists() { Self::read_all(&path)? } else { Vec::new() };
         let next_lsn = existing.last().map_or(1, |r| r.lsn() + 1);
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Self { path, writer: BufWriter::new(file), next_lsn })
+        Ok(Self { path, writer: BufWriter::new(file), next_lsn, label: "default".to_string() })
+    }
+
+    /// Stamp this log's metric series with `label` (the collection name).
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
     }
 
     /// Path of the log file.
@@ -96,9 +110,12 @@ impl Wal {
     }
 
     fn write(&mut self, rec: &LogRecord) -> Result<()> {
-        serde_json::to_writer(&mut self.writer, rec)?;
+        let line = serde_json::to_vec(rec)?;
+        self.writer.write_all(&line)?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
+        obs::counter(obs::WAL_APPENDS, &self.label).inc();
+        obs::counter(obs::WAL_BYTES, &self.label).add(line.len() as u64 + 1);
         Ok(())
     }
 

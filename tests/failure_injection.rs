@@ -73,23 +73,97 @@ fn batch(ids: std::ops::Range<i64>) -> InsertBatch {
 #[test]
 fn flush_error_propagates_and_engine_stays_usable() {
     let store = FaultyStore::new();
+    let label = "fault_put";
     let engine = LsmEngine::new(
         schema(),
-        LsmConfig { auto_merge: false, ..Default::default() },
+        LsmConfig { auto_merge: false, metrics_label: label.into(), ..Default::default() },
         store.clone() as Arc<dyn ObjectStore>,
         None,
     )
     .unwrap();
 
+    let errors_before =
+        milvus_obs::registry().snapshot().counter(milvus_obs::OBJECT_ERRORS, label);
     engine.insert(batch(0..10)).unwrap();
     store.fail_puts.store(true, Ordering::SeqCst);
     assert!(engine.flush().is_err(), "flush must report the injected put failure");
+
+    // The injected fault must be visible in the metrics registry.
+    let errors_after =
+        milvus_obs::registry().snapshot().counter(milvus_obs::OBJECT_ERRORS, label);
+    assert!(
+        errors_after > errors_before,
+        "injected put failure must increment {} (before={errors_before}, after={errors_after})",
+        milvus_obs::OBJECT_ERRORS
+    );
 
     // Recovery: the fault clears, a later flush succeeds with all data.
     store.fail_puts.store(false, Ordering::SeqCst);
     engine.insert(batch(10..20)).unwrap();
     engine.flush().unwrap();
     assert!(engine.snapshot().live_rows() >= 10);
+}
+
+#[test]
+fn injected_get_failure_increments_error_counter_and_search_survives() {
+    use milvus_core::{CollectionConfig, Milvus};
+    use milvus_index::traits::SearchParams;
+
+    let store = FaultyStore::new();
+    let m = Milvus::with_store(store.clone() as Arc<dyn ObjectStore>);
+    let name = "fault_get_search";
+    let col = m
+        .create_collection(name, schema(), CollectionConfig::for_tests())
+        .unwrap();
+    col.insert(batch(0..50)).unwrap();
+    col.flush().unwrap();
+
+    // Recovery attempt against a failing store: the read error must be
+    // counted under the engine's collection label.
+    let wal_dir =
+        std::env::temp_dir().join(format!("milvus-fault-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).unwrap();
+    let wal = wal_dir.join("wal.log");
+    {
+        let eng = LsmEngine::new(
+            schema(),
+            LsmConfig { auto_merge: false, metrics_label: "fault_get".into(), ..Default::default() },
+            store.clone() as Arc<dyn ObjectStore>,
+            Some(&wal),
+        )
+        .unwrap();
+        eng.insert(batch(100..110)).unwrap();
+        eng.flush().unwrap();
+    }
+    let before =
+        milvus_obs::registry().snapshot().counter(milvus_obs::OBJECT_ERRORS, "fault_get");
+    store.fail_gets.store(true, Ordering::SeqCst);
+    assert!(LsmEngine::recover(
+        schema(),
+        LsmConfig { auto_merge: false, metrics_label: "fault_get".into(), ..Default::default() },
+        store.clone() as Arc<dyn ObjectStore>,
+        &wal,
+    )
+    .is_err());
+    let after =
+        milvus_obs::registry().snapshot().counter(milvus_obs::OBJECT_ERRORS, "fault_get");
+    assert!(
+        after > before,
+        "injected get failure must increment {}",
+        milvus_obs::OBJECT_ERRORS
+    );
+
+    // While the store is still failing, the already-open collection keeps
+    // serving searches from its in-memory snapshot — no panic, no error.
+    let queries_before = milvus_obs::registry().snapshot().counter(milvus_obs::QUERY_TOTAL, name);
+    let hits = col.search("v", &[7.0, 0.0], &SearchParams::top_k(3)).unwrap();
+    assert_eq!(hits[0].id, 7);
+    let queries_after = milvus_obs::registry().snapshot().counter(milvus_obs::QUERY_TOTAL, name);
+    assert_eq!(queries_after, queries_before + 1, "post-fault search must still be counted");
+
+    store.fail_gets.store(false, Ordering::SeqCst);
+    std::fs::remove_dir_all(&wal_dir).unwrap();
 }
 
 #[test]

@@ -11,7 +11,8 @@ use milvus_index::{distance, Metric, TopK, VectorSet};
 use milvus_storage::merge::MergePolicy;
 use milvus_storage::object_store::MemoryStore;
 use milvus_storage::{InsertBatch, LsmConfig, LsmEngine, Schema};
-use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -25,14 +26,14 @@ enum Op {
     Merge,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u8..20).prop_map(|count| Op::Insert { count }),
-        any::<u16>().prop_map(|pick| Op::Delete { pick }),
-        any::<u16>().prop_map(|pick| Op::Reinsert { pick }),
-        Just(Op::Flush),
-        Just(Op::Merge),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    match rng.gen_range(0..5) {
+        0 => Op::Insert { count: rng.gen_range(1u8..20) },
+        1 => Op::Delete { pick: rng.gen_range(0u16..u16::MAX) },
+        2 => Op::Reinsert { pick: rng.gen_range(0u16..u16::MAX) },
+        3 => Op::Flush,
+        _ => Op::Merge,
+    }
 }
 
 fn vector_for(id: i64, generation: u32) -> Vec<f32> {
@@ -74,6 +75,7 @@ fn engine() -> LsmEngine {
             auto_merge: false,
             merge_policy: MergePolicy { min_segments_per_merge: 2, ..Default::default() },
             persist_segments: true,
+            ..Default::default()
         },
         Arc::new(MemoryStore::new()),
         None,
@@ -183,23 +185,39 @@ fn check_agreement(engine: &LsmEngine, model: &Model) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+/// Run one randomized operation sequence per case, each reproducible from
+/// the seed printed on failure.
+fn run_cases(n_cases: u64, max_ops: usize, check: impl Fn(&[Op])) {
+    for case in 0..n_cases {
+        let seed = 0x5EED ^ case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_ops = rng.gen_range(1..max_ops);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&ops)));
+        if let Err(payload) = result {
+            eprintln!("model-based case failed for seed {seed:#x}: {ops:?}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
 
-    #[test]
-    fn lsm_engine_matches_reference_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+#[test]
+fn lsm_engine_matches_reference_model() {
+    run_cases(24, 60, |ops| {
         let engine = engine();
         let mut model = Model::default();
-        for op in &ops {
+        for op in ops {
             apply(&engine, &mut model, op);
         }
         check_agreement(&engine, &model);
-    }
+    });
+}
 
-    /// Same sequence, but agreement is also checked against an engine that
-    /// went through a full persist + recover cycle at the end.
-    #[test]
-    fn model_survives_codec_roundtrip(ops in prop::collection::vec(op_strategy(), 1..40)) {
+/// Same sequence, but agreement is also checked against an engine that went
+/// through a full persist + recover cycle at the end.
+#[test]
+fn model_survives_codec_roundtrip() {
+    run_cases(24, 40, |ops| {
         let store: Arc<MemoryStore> = Arc::new(MemoryStore::new());
         let engine = LsmEngine::new(
             Schema::single("v", 2, Metric::L2),
@@ -208,13 +226,14 @@ proptest! {
                 auto_merge: false,
                 merge_policy: MergePolicy { min_segments_per_merge: 2, ..Default::default() },
                 persist_segments: true,
+                ..Default::default()
             },
             store.clone(),
             None,
         )
         .unwrap();
         let mut model = Model::default();
-        for op in &ops {
+        for op in ops {
             apply(&engine, &mut model, op);
         }
         engine.flush().unwrap();
@@ -228,5 +247,5 @@ proptest! {
         )
         .unwrap();
         check_agreement(&reloaded, &model);
-    }
+    });
 }

@@ -1,0 +1,188 @@
+//! End-to-end observability: exercising the query/ingest/storage paths
+//! through the public `Milvus` facade must leave a coherent trail in
+//! `Milvus::metrics_snapshot()` and in the Prometheus exposition.
+//!
+//! The registry is process-global and tests run concurrently, so every
+//! assertion here is either a *delta* between two snapshots or scoped to a
+//! collection label unique to this file.
+
+use milvus_core::{CollectionConfig, Milvus};
+use milvus_index::traits::SearchParams;
+use milvus_index::{Metric, VectorSet};
+use milvus_obs as obs;
+use milvus_storage::{InsertBatch, Schema};
+
+fn batch(ids: std::ops::Range<i64>, dim: usize) -> InsertBatch {
+    let id_vec: Vec<i64> = ids.collect();
+    let mut vs = VectorSet::new(dim);
+    for &id in &id_vec {
+        let mut v = vec![0.0f32; dim];
+        v[0] = id as f32;
+        vs.push(&v);
+    }
+    InsertBatch::single(id_vec, vs)
+}
+
+#[test]
+fn full_lifecycle_leaves_a_metric_trail() {
+    let name = "obs_lifecycle";
+    let wal_dir = std::env::temp_dir().join(format!("milvus-obs-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).unwrap();
+    let m = Milvus::new();
+    let before = m.metrics_snapshot();
+
+    let config = CollectionConfig {
+        wal_path: Some(wal_dir.join("wal.log")),
+        ..CollectionConfig::for_tests()
+    };
+    let col = m
+        .create_collection(name, Schema::single("v", 8, Metric::L2), config)
+        .unwrap();
+    col.insert(batch(0..500, 8)).unwrap();
+    col.insert(batch(500..600, 8)).unwrap();
+    col.flush().unwrap();
+    col.build_index("v", "IVF_FLAT").unwrap();
+    let sp = SearchParams { k: 5, nprobe: 8, ..Default::default() };
+    for q in 0..7 {
+        let hits = col.search("v", &[q as f32, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], &sp).unwrap();
+        assert_eq!(hits[0].id, q);
+    }
+    col.delete(vec![0, 1]).unwrap();
+    col.flush().unwrap();
+
+    let after = m.metrics_snapshot();
+    let d = |metric: &str| after.counter(metric, name) - before.counter(metric, name);
+
+    assert_eq!(d(obs::INGEST_BATCHES), 2);
+    assert_eq!(d(obs::INGEST_ROWS), 600);
+    assert_eq!(d(obs::QUERY_TOTAL), 7);
+    assert_eq!(d(obs::DELETE_ROWS), 2);
+    assert!(d(obs::INDEX_BUILDS) >= 1, "index build must be counted");
+    assert!(d(obs::MEMTABLE_FLUSHES) >= 1, "flush that persisted rows must be counted");
+    assert!(d(obs::WAL_APPENDS) >= 3, "inserts and deletes must hit the WAL");
+    assert!(d(obs::OBJECT_PUTS) >= 1, "segment publication must hit the object store");
+    assert_eq!(d(obs::QUERY_ERRORS), 0);
+
+    // Latency histograms saw exactly the operations we issued.
+    let q_hist_delta = after.histogram(obs::QUERY_LATENCY, name).count
+        - before.histogram(obs::QUERY_LATENCY, name).count;
+    assert_eq!(q_hist_delta, 7);
+    let ingest_hist_delta = after.histogram(obs::INGEST_LATENCY, name).count
+        - before.histogram(obs::INGEST_LATENCY, name).count;
+    assert_eq!(ingest_hist_delta, 2);
+
+    // The segment gauge tracks the published snapshot.
+    assert_eq!(after.gauge(obs::SEGMENTS, name), col.snapshot().segments.len() as i64);
+    std::fs::remove_dir_all(&wal_dir).unwrap();
+}
+
+#[test]
+fn quantiles_are_monotone_and_bounded() {
+    let name = "obs_quantiles";
+    let m = Milvus::new();
+    let col = m
+        .create_collection(name, Schema::single("v", 4, Metric::L2), CollectionConfig::for_tests())
+        .unwrap();
+    col.insert(batch(0..200, 4)).unwrap();
+    col.flush().unwrap();
+    for q in 0..20 {
+        col.search("v", &[q as f32, 0.0, 0.0, 0.0], &SearchParams::top_k(3)).unwrap();
+    }
+    let h = m.metrics_snapshot().histogram(obs::QUERY_LATENCY, name);
+    assert!(h.count >= 20);
+    let (p50, p95, p99) = (h.quantile_us(0.50), h.quantile_us(0.95), h.quantile_us(0.99));
+    assert!(p50 > 0.0);
+    assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone: {p50} {p95} {p99}");
+    // Mean must be inside the observed range implied by the buckets.
+    assert!(h.sum_us >= h.count, "sub-microsecond searches are implausible");
+}
+
+#[test]
+fn error_paths_are_counted_not_hidden() {
+    let name = "obs_errors";
+    let m = Milvus::new();
+    let col = m
+        .create_collection(name, Schema::single("v", 4, Metric::L2), CollectionConfig::for_tests())
+        .unwrap();
+    col.insert(batch(0..10, 4)).unwrap();
+    col.flush().unwrap();
+
+    let before = m.metrics_snapshot();
+    // Wrong dimensionality: the search fails, and the failure is counted.
+    assert!(col.search("v", &[1.0, 2.0], &SearchParams::top_k(3)).is_err());
+    let after = m.metrics_snapshot();
+    assert_eq!(
+        after.counter(obs::QUERY_ERRORS, name) - before.counter(obs::QUERY_ERRORS, name),
+        1,
+        "a failed search must increment {}",
+        obs::QUERY_ERRORS
+    );
+}
+
+#[test]
+fn prometheus_exposition_is_well_formed() {
+    let name = "obs_prom";
+    let m = Milvus::new();
+    let col = m
+        .create_collection(name, Schema::single("v", 4, Metric::L2), CollectionConfig::for_tests())
+        .unwrap();
+    col.insert(batch(0..50, 4)).unwrap();
+    col.flush().unwrap();
+    col.search("v", &[1.0, 0.0, 0.0, 0.0], &SearchParams::top_k(3)).unwrap();
+
+    let text = milvus_obs::registry().render_prometheus();
+    assert!(text.contains(&format!("milvus_query_total{{collection=\"{name}\"}} 1")));
+    assert!(text.contains(&format!("milvus_ingest_rows_total{{collection=\"{name}\"}} 50")));
+    assert!(text.contains("# TYPE milvus_query_latency_seconds histogram"));
+    assert!(text.contains("# TYPE milvus_segments gauge"));
+    // Histogram series must carry both the le= and collection= labels, end
+    // with +Inf, and expose _sum/_count.
+    assert!(text.contains(&format!("milvus_query_latency_seconds_bucket{{collection=\"{name}\",le=\"+Inf\"}}")));
+    assert!(text.contains(&format!("milvus_query_latency_seconds_count{{collection=\"{name}\"}}")));
+    assert!(text.contains(&format!("milvus_query_latency_seconds_sum{{collection=\"{name}\"}}")));
+    // Every non-comment line is `name{labels} value` or `name value`.
+    for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let mut parts = line.rsplitn(2, ' ');
+        let value = parts.next().unwrap();
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "exposition line has a non-numeric value: {line}"
+        );
+    }
+}
+
+#[test]
+fn distributed_paths_record_reader_and_writer_metrics() {
+    use milvus_distributed::coordinator::Coordinator;
+    use milvus_distributed::reader::ReaderNode;
+    use milvus_distributed::writer::WriterNode;
+    use milvus_storage::object_store::{MemoryStore, ObjectStore};
+    use milvus_storage::LsmConfig;
+    use std::sync::Arc;
+
+    let before = milvus_obs::registry().snapshot();
+
+    let coordinator = Coordinator::new(2);
+    let store: Arc<dyn ObjectStore> = Arc::new(MemoryStore::new());
+    let writer = WriterNode::with_log_shipping(
+        Schema::single("v", 4, Metric::L2),
+        LsmConfig { auto_merge: false, ..Default::default() },
+        Arc::clone(&store),
+        Arc::clone(&coordinator),
+    )
+    .unwrap();
+    let reader =
+        ReaderNode::register(Schema::single("v", 4, Metric::L2), coordinator, store, 64 << 20);
+
+    writer.insert(batch(0..100, 4)).unwrap();
+    writer.flush().unwrap();
+    reader.refresh().unwrap();
+    reader.search("v", &[3.0, 0.0, 0.0, 0.0], &SearchParams::top_k(1)).unwrap();
+
+    let after = milvus_obs::registry().snapshot();
+    assert!(after.counter(obs::INGEST_ROWS, "writer") - before.counter(obs::INGEST_ROWS, "writer") >= 100);
+    assert!(after.counter(obs::READER_REFRESHES, "reader") > before.counter(obs::READER_REFRESHES, "reader"));
+    assert!(after.counter(obs::QUERY_TOTAL, "reader") > before.counter(obs::QUERY_TOTAL, "reader"));
+    assert!(after.counter(obs::LOG_SHIP_RECORDS, "shared") > before.counter(obs::LOG_SHIP_RECORDS, "shared"));
+}

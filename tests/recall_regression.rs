@@ -1,0 +1,72 @@
+//! Recall regression floor: a fixed, fully seeded workload whose recall@10
+//! must never drop below 0.80 for the two production index types at their
+//! documented default-ish parameters (IVF_FLAT nprobe=16, HNSW ef=64).
+//!
+//! Unlike `recall_quality.rs` (which sweeps many index types at generous
+//! parameters), this test pins ONE deterministic dataset — 10k vectors,
+//! 64 dims, seed 7001 — and modest search parameters, so any change that
+//! silently degrades index quality trips it.
+
+use milvus_datagen as datagen;
+use milvus_index::registry::IndexRegistry;
+use milvus_index::traits::{BuildParams, SearchParams};
+use milvus_index::{Metric, VectorSet};
+
+const N: usize = 10_000;
+const DIM: usize = 64;
+const DATA_SEED: u64 = 7001;
+const QUERY_SEED: u64 = 7002;
+const N_QUERIES: usize = 50;
+const K: usize = 10;
+const FLOOR: f32 = 0.80;
+
+fn dataset() -> VectorSet {
+    // Clustered like SIFT but at 64 dims: ~100 points per cluster.
+    datagen::clustered(N, DIM, 100, 0.0, 218.0, 18.0, DATA_SEED)
+}
+
+fn recall_at_10(index_type: &str, sp: &SearchParams) -> f32 {
+    let data = dataset();
+    let ids: Vec<i64> = (0..N as i64).collect();
+    let registry = IndexRegistry::with_builtins();
+    let params = BuildParams {
+        metric: Metric::L2,
+        nlist: 128,
+        kmeans_iters: 5,
+        hnsw_m: 16,
+        hnsw_ef_construction: 150,
+        ..Default::default()
+    };
+    let index = registry.build(index_type, &data, &ids, &params).unwrap();
+    let queries = datagen::queries_from(&data, N_QUERIES, 1.0, QUERY_SEED);
+    let truth = datagen::ground_truth(&data, &ids, &queries, Metric::L2, K);
+    let results: Vec<_> =
+        (0..queries.len()).map(|i| index.search(queries.get(i), sp).unwrap()).collect();
+    datagen::recall(&truth, &results)
+}
+
+#[test]
+fn ivf_flat_nprobe16_recall_at_10_floor() {
+    let sp = SearchParams { k: K, nprobe: 16, ..Default::default() };
+    let r = recall_at_10("IVF_FLAT", &sp);
+    assert!(r >= FLOOR, "IVF_FLAT nprobe=16 recall@10 regressed: {r:.3} < {FLOOR}");
+}
+
+#[test]
+fn hnsw_ef64_recall_at_10_floor() {
+    let sp = SearchParams { k: K, ef: 64, ..Default::default() };
+    let r = recall_at_10("HNSW", &sp);
+    assert!(r >= FLOOR, "HNSW ef=64 recall@10 regressed: {r:.3} < {FLOOR}");
+}
+
+#[test]
+fn dataset_is_deterministic() {
+    // The regression floor is only meaningful if the workload is pinned:
+    // two independent generations must be bit-identical.
+    let a = dataset();
+    let b = dataset();
+    assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        assert_eq!(a.get(i), b.get(i), "dataset generation must be deterministic (row {i})");
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `rayon` crate (no network access in the build
+//! environment). The workspace uses exactly one parallel shape —
+//! `(..).into_par_iter().map(f).collect::<Vec<_>>()` — so this shim
+//! implements that shape honestly: items are split into per-thread chunks,
+//! mapped on scoped threads, and re-assembled in order. Everything else from
+//! rayon's API surface is intentionally absent.
+
+/// Number of worker threads a parallel map will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator: Sized {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter { items: self.into_iter().collect() }
+    }
+}
+
+/// Materialized item list awaiting a `map`.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// A pending parallel map; `collect` executes it.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromParallelIterator<R>,
+    {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n < 2 {
+            return C::from_ordered(items.into_iter().map(f).collect());
+        }
+
+        // Order-preserving chunked fan-out: thread i takes the i-th chunk,
+        // results are concatenated chunk order = input order.
+        let chunk = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut items = items.into_iter();
+        loop {
+            let c: Vec<T> = items.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+
+        let f = &f;
+        let mapped: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| scope.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("parallel map worker panicked")).collect()
+        });
+        C::from_ordered(mapped.into_iter().flatten().collect())
+    }
+}
+
+/// Collection targets for a parallel map (only `Vec` is needed).
+pub trait FromParallelIterator<R> {
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+pub mod prelude {
+    pub use super::{FromParallelIterator, IntoParallelIterator};
+}
+
+pub mod iter {
+    pub use super::{IntoParallelIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_vectors_and_empty_input() {
+        let out: Vec<String> =
+            vec!["a", "b"].into_par_iter().map(|s| s.to_uppercase()).collect();
+        assert_eq!(out, vec!["A", "B"]);
+        let empty: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn captures_environment() {
+        let base = 10;
+        let out: Vec<i32> = (0..4).into_par_iter().map(|i| i + base).collect();
+        assert_eq!(out, vec![10, 11, 12, 13]);
+    }
+}

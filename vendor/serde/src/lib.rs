@@ -1,0 +1,366 @@
+//! Offline stand-in for the `serde` crate (no network access in the build
+//! environment, so proc-macro derives are unavailable).
+//!
+//! This stand-in is JSON-only: [`Serialize`] maps a value to a JSON
+//! [`Value`] tree and [`Deserialize`] maps back. Instead of
+//! `#[derive(Serialize, Deserialize)]`, types opt in with the declarative
+//! macros [`impl_serde_struct!`], [`impl_serde_unit_enum!`] and
+//! [`impl_serde_enum!`], which generate externally-tagged representations
+//! compatible with what real serde + serde_json would have produced.
+
+mod json;
+
+pub use json::{parse_value, render_compact, render_pretty, Error, Map, Value};
+
+/// Serialize into a JSON [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from a JSON [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    other => Err(Error::type_mismatch("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_num!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::type_mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(Error::type_mismatch("2-tuple", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => {
+                m.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
+            other => Err(Error::type_mismatch("object", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Ordered output: BTreeMap collection keeps rendering deterministic.
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.clone(), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => {
+                m.iter().map(|(k, v)| Ok((k.clone(), V::from_value(v)?))).collect()
+            }
+            other => Err(Error::type_mismatch("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Impl macros replacing `#[derive(Serialize, Deserialize)]`
+// ---------------------------------------------------------------------------
+
+/// Implements [`Serialize`]/[`Deserialize`] for a struct with named fields,
+/// as a JSON object keyed by field name.
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                let mut map = $crate::Map::new();
+                $( map.insert(stringify!($field).to_string(),
+                              $crate::Serialize::to_value(&self.$field)); )+
+                $crate::Value::Object(map)
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> ::std::result::Result<Self, $crate::Error> {
+                let obj = v.as_object().ok_or_else(|| {
+                    $crate::Error::msg(concat!("expected object for ", stringify!($ty)))
+                })?;
+                Ok(Self {
+                    $( $field: $crate::Deserialize::from_value(
+                        obj.get(stringify!($field)).unwrap_or(&$crate::Value::Null),
+                    )?, )+
+                })
+            }
+        }
+    };
+}
+
+/// Implements the traits for a field-less enum, serialized as the variant
+/// name string (matching serde's externally-tagged unit-variant form).
+#[macro_export]
+macro_rules! impl_serde_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                let name = match self {
+                    $( $ty::$variant => stringify!($variant), )+
+                };
+                $crate::Value::String(name.to_string())
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> ::std::result::Result<Self, $crate::Error> {
+                match v.as_str() {
+                    $( Some(stringify!($variant)) => Ok($ty::$variant), )+
+                    _ => Err($crate::Error::msg(concat!(
+                        "unknown variant for ", stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+/// Implements the traits for an enum whose variants all carry named fields,
+/// in serde's externally-tagged form: `{"Variant": {"field": ...}}`.
+#[macro_export]
+macro_rules! impl_serde_enum {
+    ($ty:ident { $($variant:ident { $($field:ident),+ $(,)? }),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                match self {
+                    $( $ty::$variant { $($field),+ } => {
+                        let mut inner = $crate::Map::new();
+                        $( inner.insert(stringify!($field).to_string(),
+                                        $crate::Serialize::to_value($field)); )+
+                        let mut outer = $crate::Map::new();
+                        outer.insert(stringify!($variant).to_string(),
+                                     $crate::Value::Object(inner));
+                        $crate::Value::Object(outer)
+                    } )+
+                }
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> ::std::result::Result<Self, $crate::Error> {
+                let obj = v.as_object().ok_or_else(|| {
+                    $crate::Error::msg(concat!("expected object for ", stringify!($ty)))
+                })?;
+                let (tag, inner) = obj.iter().next().ok_or_else(|| {
+                    $crate::Error::msg(concat!("empty enum object for ", stringify!($ty)))
+                })?;
+                match tag.as_str() {
+                    $( stringify!($variant) => {
+                        let fields = inner.as_object().ok_or_else(|| {
+                            $crate::Error::msg("expected variant payload object")
+                        })?;
+                        Ok($ty::$variant {
+                            $( $field: $crate::Deserialize::from_value(
+                                fields.get(stringify!($field))
+                                    .unwrap_or(&$crate::Value::Null),
+                            )?, )+
+                        })
+                    } )+
+                    other => Err($crate::Error::msg(format!(
+                        "unknown variant {other} for {}", stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Point {
+        x: f64,
+        tags: Vec<String>,
+    }
+    impl_serde_struct!(Point { x, tags });
+
+    #[derive(Debug, PartialEq)]
+    enum Color {
+        Red,
+        Green,
+    }
+    impl_serde_unit_enum!(Color { Red, Green });
+
+    #[derive(Debug, PartialEq)]
+    enum Op {
+        Put { key: String, size: u64 },
+        Del { key: String },
+    }
+    impl_serde_enum!(Op {
+        Put { key, size },
+        Del { key },
+    });
+
+    #[test]
+    fn struct_roundtrip() {
+        let p = Point { x: 1.5, tags: vec!["a".into(), "b".into()] };
+        let v = p.to_value();
+        assert_eq!(Point::from_value(&v).unwrap(), p);
+    }
+
+    #[test]
+    fn unit_enum_roundtrip() {
+        let v = Color::Green.to_value();
+        assert_eq!(v, Value::String("Green".into()));
+        assert_eq!(Color::from_value(&v).unwrap(), Color::Green);
+    }
+
+    #[test]
+    fn tagged_enum_roundtrip() {
+        let op = Op::Put { key: "k".into(), size: 9 };
+        let v = op.to_value();
+        assert_eq!(Op::from_value(&v).unwrap(), op);
+        let del = Op::Del { key: "z".into() };
+        assert_eq!(Op::from_value(&del.to_value()).unwrap(), del);
+    }
+
+    #[test]
+    fn text_roundtrip_via_parser() {
+        let op = Op::Put { key: "wal/1".into(), size: 123 };
+        let text = render_compact(&op.to_value());
+        let parsed = parse_value(&text).unwrap();
+        assert_eq!(Op::from_value(&parsed).unwrap(), op);
+    }
+}

@@ -1,0 +1,88 @@
+//! Offline stand-in for the `serde_json` crate, a thin facade over the
+//! vendored `serde` value model (see `vendor/serde`).
+
+pub use serde::{Error, Map, Value};
+
+/// Serialize to a compact JSON string.
+#[allow(clippy::unnecessary_wraps)] // keeps the real serde_json signature
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::render_compact(&value.to_value()))
+}
+
+/// Serialize to an indented JSON string.
+#[allow(clippy::unnecessary_wraps)]
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::render_pretty(&value.to_value()))
+}
+
+/// Serialize to a UTF-8 byte vector.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize into an `io::Write` sink.
+pub fn to_writer<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string(value)?;
+    writer.write_all(text.as_bytes()).map_err(|e| Error::msg(e.to_string()))
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&serde::parse_value(text)?)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::msg(e.to_string()))?;
+    from_str(text)
+}
+
+/// Build a [`Value`] from literal-ish syntax. Unlike the real `serde_json`
+/// macro, object/array members must be Rust expressions (wrap nested JSON
+/// objects in another `json!` call).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::Value::from($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({ "a": 1, "b": [1, 2], "c": "x", "nested": json!({"d": true}) });
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"][1], 2);
+        assert_eq!(v["c"], "x");
+        assert_eq!(v["nested"]["d"], true);
+        assert!(json!(null).is_null());
+        assert_eq!(json!(5), 5);
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let v = json!({ "k": [1.5, -2.0] });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn from_slice_rejects_bad_json() {
+        assert!(from_slice::<Value>(b"{oops").is_err());
+    }
+}
