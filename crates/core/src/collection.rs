@@ -63,6 +63,9 @@ pub struct CollectionStats {
 /// A named collection of entities.
 pub struct Collection {
     name: String,
+    /// Collection name as a shared `Arc<str>` so per-query traces can carry
+    /// the label without allocating on admission.
+    trace_label: Arc<str>,
     schema: Schema,
     config: CollectionConfig,
     engine: Arc<LsmEngine>,
@@ -97,6 +100,7 @@ impl Collection {
         };
         let ingest = AsyncIngest::start(Arc::clone(&engine), config.flush_interval);
         Ok(Self {
+            trace_label: Arc::from(name.as_str()),
             name,
             schema,
             config,
@@ -191,20 +195,54 @@ impl Collection {
     }
 
     /// Vector query (§2.1): top-k over `field` across all segments of the
-    /// query's snapshot, merged.
+    /// query's snapshot, merged. Admits a trace through the sampler; queries
+    /// slower than the configured threshold land in the slow-query log.
     pub fn search(&self, field: &str, query: &[f32], params: &SearchParams) -> Result<Vec<SearchHit>> {
+        let mut trace = obs::Trace::start("search", &self.trace_label);
+        let result = self.search_traced(field, query, params, &mut trace);
+        trace.finish();
+        result
+    }
+
+    /// [`Self::search`] recording into a caller-supplied trace (the sampler
+    /// is bypassed; pass [`obs::Trace::disabled`] for none).
+    pub fn search_traced(
+        &self,
+        field: &str,
+        query: &[f32],
+        params: &SearchParams,
+        trace: &mut obs::Trace,
+    ) -> Result<Vec<SearchHit>> {
         let _span = obs::span(obs::QUERY_LATENCY, &self.name);
         obs::counter(obs::QUERY_TOTAL, &self.name).inc();
         obs::counter(obs::QUERY_NPROBE_EFFECTIVE, &self.name).add(params.nprobe as u64);
         obs::counter(obs::QUERY_EF_EFFECTIVE, &self.name).add(params.ef as u64);
         let result = (|| {
+            let t = trace.begin();
             let metric = self.metric_of(field)?;
+            trace.record(obs::SpanKind::Parse, t);
+
+            let t = trace.begin();
             let snap = self.engine.snapshot();
+            let nsegs = snap.segments.len();
+            trace.record_with(obs::SpanKind::Route, t, |sp| sp.rows_scanned = nsegs as u64);
+
             let mut lists = Vec::with_capacity(snap.segments.len());
             for seg in &snap.segments {
-                lists.push(seg.search_field(&self.schema, field, query, params, None)?);
+                let t = trace.begin();
+                let (list, stats) =
+                    seg.search_field_stats(&self.schema, field, query, params, None)?;
+                trace.record_with(obs::SpanKind::SegmentScan, t, |sp| {
+                    sp.segment_id = seg.id as i64;
+                    sp.rows_scanned = stats.rows_scanned;
+                });
+                lists.push(list);
             }
-            Ok(self.to_hits(metric, merge_segment_results(&lists, params.k)))
+
+            let t = trace.begin();
+            let merged = merge_segment_results(&lists, params.k);
+            trace.record(obs::SpanKind::HeapMerge, t);
+            Ok(self.to_hits(metric, merged))
         })();
         if result.is_err() {
             obs::counter(obs::QUERY_ERRORS, &self.name).inc();
@@ -237,51 +275,108 @@ impl Collection {
         hi: f64,
         params: &SearchParams,
     ) -> Result<Vec<SearchHit>> {
+        let mut trace = obs::Trace::start("filtered_search", &self.trace_label);
+        let result = self.filtered_search_traced(field, query, attr, lo, hi, params, &mut trace);
+        trace.finish();
+        result
+    }
+
+    /// [`Self::filtered_search`] recording into a caller-supplied trace.
+    #[allow(clippy::too_many_arguments)]
+    pub fn filtered_search_traced(
+        &self,
+        field: &str,
+        query: &[f32],
+        attr: &str,
+        lo: f64,
+        hi: f64,
+        params: &SearchParams,
+        trace: &mut obs::Trace,
+    ) -> Result<Vec<SearchHit>> {
         let _span = obs::span(obs::QUERY_LATENCY, &self.name);
         obs::counter(obs::QUERY_TOTAL, &self.name).inc();
-        let metric = self.metric_of(field)?;
-        let ai = self
-            .schema
-            .attribute_index(attr)
-            .ok_or_else(|| MilvusError::NoSuchAttribute(attr.to_string()))?;
-        let pred = RangePredicate::new(lo, hi);
-        let snap = self.engine.snapshot();
-        let mut lists = Vec::with_capacity(snap.segments.len());
-        for seg in &snap.segments {
-            let column = &seg.data().attributes[ai];
-            let passing = column.count_range(pred.lo, pred.hi);
-            if passing == 0 {
-                continue;
-            }
-            let rows: std::collections::HashSet<i64> =
-                column.range_rows(pred.lo, pred.hi).into_iter().collect();
-            // Cost rule: highly selective predicate → exact scan of passers
-            // (A); otherwise filtered index search (B).
-            let list = if passing <= params.k * 8 || seg.index(field).is_none() {
-                let mut heap = milvus_index::TopK::new(params.k.max(1));
-                for &id in &rows {
-                    if seg.is_deleted(id) {
-                        continue;
-                    }
-                    let row = seg
-                        .data()
-                        .row_ids
-                        .binary_search(&id)
-                        .expect("column ids exist in segment");
-                    let v = seg.data().vectors[self
-                        .schema
-                        .vector_field_index(field)
-                        .expect("checked by metric_of")]
-                    .get(row);
-                    heap.push(id, milvus_index::distance::distance(metric, query, v));
+        let result = (|| {
+            let t = trace.begin();
+            let metric = self.metric_of(field)?;
+            let ai = self
+                .schema
+                .attribute_index(attr)
+                .ok_or_else(|| MilvusError::NoSuchAttribute(attr.to_string()))?;
+            trace.record(obs::SpanKind::Parse, t);
+            let pred = RangePredicate::new(lo, hi);
+
+            let t = trace.begin();
+            let snap = self.engine.snapshot();
+            let nsegs = snap.segments.len();
+            trace.record_with(obs::SpanKind::Route, t, |sp| sp.rows_scanned = nsegs as u64);
+
+            let mut lists = Vec::with_capacity(snap.segments.len());
+            for seg in &snap.segments {
+                let t = trace.begin();
+                let column = &seg.data().attributes[ai];
+                let passing = column.count_range(pred.lo, pred.hi);
+                if passing == 0 {
+                    trace.record_with(obs::SpanKind::Filter, t, |sp| {
+                        sp.segment_id = seg.id as i64;
+                    });
+                    continue;
                 }
-                heap.into_sorted()
-            } else {
-                seg.search_field(&self.schema, field, query, params, Some(&|id| rows.contains(&id)))?
-            };
-            lists.push(list);
+                let rows: std::collections::HashSet<i64> =
+                    column.range_rows(pred.lo, pred.hi).into_iter().collect();
+                trace.record_with(obs::SpanKind::Filter, t, |sp| {
+                    sp.segment_id = seg.id as i64;
+                    sp.rows_scanned = passing as u64;
+                });
+                // Cost rule: highly selective predicate → exact scan of passers
+                // (A); otherwise filtered index search (B).
+                let t = trace.begin();
+                let mut scanned = passing as u64;
+                let list = if passing <= params.k * 8 || seg.index(field).is_none() {
+                    let mut heap = milvus_index::TopK::new(params.k.max(1));
+                    for &id in &rows {
+                        if seg.is_deleted(id) {
+                            continue;
+                        }
+                        let row = seg
+                            .data()
+                            .row_ids
+                            .binary_search(&id)
+                            .expect("column ids exist in segment");
+                        let v = seg.data().vectors[self
+                            .schema
+                            .vector_field_index(field)
+                            .expect("checked by metric_of")]
+                        .get(row);
+                        heap.push(id, milvus_index::distance::distance(metric, query, v));
+                    }
+                    heap.into_sorted()
+                } else {
+                    let (list, stats) = seg.search_field_stats(
+                        &self.schema,
+                        field,
+                        query,
+                        params,
+                        Some(&|id| rows.contains(&id)),
+                    )?;
+                    scanned = stats.rows_scanned;
+                    list
+                };
+                trace.record_with(obs::SpanKind::SegmentScan, t, |sp| {
+                    sp.segment_id = seg.id as i64;
+                    sp.rows_scanned = scanned;
+                });
+                lists.push(list);
+            }
+
+            let t = trace.begin();
+            let merged = merge_segment_results(&lists, params.k);
+            trace.record(obs::SpanKind::HeapMerge, t);
+            Ok(self.to_hits(metric, merged))
+        })();
+        if result.is_err() {
+            obs::counter(obs::QUERY_ERRORS, &self.name).inc();
         }
-        Ok(self.to_hits(metric, merge_segment_results(&lists, params.k)))
+        result
     }
 
     /// Materialize one entity.

@@ -5,6 +5,10 @@ use std::time::Duration;
 
 use milvus_storage::LsmConfig;
 
+/// Re-exported tracing knobs (sampling rate, slow-query threshold, ring
+/// capacity); apply with [`crate::Milvus::configure_tracing`].
+pub use milvus_obs::TraceConfig;
+
 /// Tuning for one collection.
 #[derive(Debug, Clone)]
 pub struct CollectionConfig {

@@ -123,6 +123,18 @@ impl Milvus {
     pub fn metrics_snapshot(&self) -> milvus_obs::MetricsSnapshot {
         milvus_obs::registry().snapshot()
     }
+
+    /// Replace the process-wide tracing configuration (sampling rate, slow
+    /// threshold, ring capacity). Applies to every collection.
+    pub fn configure_tracing(&self, cfg: milvus_obs::TraceConfig) {
+        milvus_obs::set_trace_config(cfg);
+    }
+
+    /// Recent slow queries, oldest first (the programmatic twin of
+    /// `GET /debug/slow_queries`).
+    pub fn slow_queries(&self) -> Vec<Arc<milvus_obs::FinishedTrace>> {
+        milvus_obs::slow_query_log().snapshot()
+    }
 }
 
 #[cfg(test)]

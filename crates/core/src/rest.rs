@@ -17,6 +17,7 @@
 //! | `POST /collections/{name}/search` | `{vector, k, nprobe?, ef?, filter?}` | vector / filtered query |
 //! | `POST /collections/{name}/index` | `{field?, index_type}` | build index |
 //! | `GET /metrics` | — | Prometheus text exposition of all metric series |
+//! | `GET /debug/slow_queries` | — | recent slow queries with per-segment spans |
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -143,6 +144,38 @@ fn err(status: &'static str, msg: impl std::fmt::Display) -> (&'static str, Valu
     (status, json!({ "error": msg.to_string() }))
 }
 
+fn span_to_json(s: &milvus_obs::Span) -> Value {
+    let mut obj = serde::Map::new();
+    obj.insert("kind".into(), s.kind.as_str().into());
+    obj.insert("start_us".into(), s.start_us.into());
+    obj.insert("dur_us".into(), s.dur_us.into());
+    if s.segment_id >= 0 {
+        obj.insert("segment_id".into(), s.segment_id.into());
+    }
+    if s.shard >= 0 {
+        obj.insert("shard".into(), s.shard.into());
+    }
+    if s.rows_scanned > 0 {
+        obj.insert("rows_scanned".into(), s.rows_scanned.into());
+    }
+    if let Some(outcome) = s.cache.as_str() {
+        obj.insert("cache".into(), outcome.into());
+    }
+    Value::Object(obj)
+}
+
+fn trace_to_json(t: &milvus_obs::FinishedTrace) -> Value {
+    json!({
+        "collection": t.collection.clone(),
+        "op": t.op,
+        "seq": t.seq,
+        "total_us": t.total_us,
+        "threshold_us": t.threshold_us,
+        "dropped_spans": t.dropped_spans,
+        "spans": t.spans.iter().map(span_to_json).collect::<Vec<_>>(),
+    })
+}
+
 struct CreateCollectionReq {
     name: String,
     dim: usize,
@@ -257,6 +290,17 @@ fn route(milvus: &Milvus, method: &str, path: &str, body: &[u8]) -> (&'static st
     let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
     match (method, segments.as_slice()) {
         ("GET", ["collections"]) => ("200 OK", json!({ "collections": milvus.list_collections() })),
+
+        ("GET", ["debug", "slow_queries"]) => {
+            let traces = milvus_obs::slow_query_log().snapshot();
+            (
+                "200 OK",
+                json!({
+                    "count": traces.len(),
+                    "slow_queries": traces.iter().map(|t| trace_to_json(t)).collect::<Vec<_>>(),
+                }),
+            )
+        }
 
         ("POST", ["collections"]) => {
             let req: CreateCollectionReq = match serde_json::from_slice(body) {

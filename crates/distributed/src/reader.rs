@@ -28,6 +28,8 @@ use crate::coordinator::Coordinator;
 pub struct ReaderNode {
     /// Coordinator-assigned node id.
     pub id: u64,
+    /// `reader-{id}` — trace label and bufferpool metrics label.
+    trace_label: Arc<str>,
     schema: Schema,
     coordinator: Arc<Coordinator>,
     shared: Arc<dyn ObjectStore>,
@@ -48,12 +50,14 @@ impl ReaderNode {
         cache_bytes: usize,
     ) -> Arc<Self> {
         let id = coordinator.register_reader();
+        let label = format!("reader-{id}");
         Arc::new(Self {
             id,
+            trace_label: Arc::from(label.as_str()),
             schema,
             coordinator,
             shared,
-            pool: BufferPool::new(cache_bytes),
+            pool: BufferPool::with_label(cache_bytes, label),
             segments: RwLock::new(HashMap::new()),
             busy_ns: AtomicU64::new(0),
         })
@@ -121,6 +125,13 @@ impl ReaderNode {
         self.pool.stats()
     }
 
+    /// Per-segment bufferpool statistics, sorted by segment id.
+    pub fn segment_cache_stats(
+        &self,
+    ) -> Vec<(u64, milvus_storage::bufferpool::SegmentPoolStats)> {
+        self.pool.all_segment_stats()
+    }
+
     /// Accumulated busy time.
     pub fn busy_time(&self) -> Duration {
         Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed))
@@ -138,17 +149,48 @@ impl ReaderNode {
         query: &[f32],
         params: &SearchParams,
     ) -> StorageResult<Vec<Neighbor>> {
+        let mut trace = obs::Trace::start("reader_search", &self.trace_label);
+        let result = self.search_traced(field, query, params, &mut trace);
+        trace.finish();
+        result
+    }
+
+    /// [`Self::search`] recording into a caller-supplied trace. Segment-scan
+    /// spans carry the shard id and the bufferpool outcome of the segment's
+    /// most recent fetch.
+    pub fn search_traced(
+        &self,
+        field: &str,
+        query: &[f32],
+        params: &SearchParams,
+        trace: &mut obs::Trace,
+    ) -> StorageResult<Vec<Neighbor>> {
         let start = Instant::now();
         let _span = obs::span(obs::QUERY_LATENCY, "reader");
         obs::counter(obs::QUERY_TOTAL, "reader").inc();
+        let t = trace.begin();
         let segments = self.segments.read();
+        let nshards = segments.len();
+        trace.record_with(obs::SpanKind::Route, t, |sp| sp.rows_scanned = nshards as u64);
         let mut lists = Vec::new();
-        for segs in segments.values() {
+        for (&shard, segs) in segments.iter() {
             for seg in segs {
-                lists.push(seg.search_field(&self.schema, field, query, params, None)?);
+                let t = trace.begin();
+                let (list, stats) =
+                    seg.search_field_stats(&self.schema, field, query, params, None)?;
+                let cache = self.pool.last_outcome(seg.id);
+                trace.record_with(obs::SpanKind::SegmentScan, t, |sp| {
+                    sp.segment_id = seg.id as i64;
+                    sp.shard = shard as i64;
+                    sp.rows_scanned = stats.rows_scanned;
+                    sp.cache = cache;
+                });
+                lists.push(list);
             }
         }
+        let t = trace.begin();
         let merged = milvus_storage::segment::merge_segment_results(&lists, params.k);
+        trace.record(obs::SpanKind::HeapMerge, t);
         self.busy_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         Ok(merged)

@@ -66,12 +66,25 @@ pub fn faiss_style_search(
     queries: &VectorSet,
     opts: &BatchOptions,
 ) -> Vec<Vec<Neighbor>> {
+    faiss_style_search_traced(data, ids, queries, opts, &mut obs::Trace::disabled())
+}
+
+/// [`faiss_style_search`] recording one [`obs::SpanKind::BatchScan`] span for
+/// the whole pass into a caller-supplied trace.
+pub fn faiss_style_search_traced(
+    data: &VectorSet,
+    ids: &[i64],
+    queries: &VectorSet,
+    opts: &BatchOptions,
+    trace: &mut obs::Trace,
+) -> Vec<Vec<Neighbor>> {
     assert_eq!(data.len(), ids.len(), "ids must match data rows");
     assert_eq!(data.dim(), queries.dim(), "query dimension mismatch");
     let m = queries.len();
     if m == 0 || data.is_empty() {
         return vec![Vec::new(); m];
     }
+    let t_scan = trace.begin();
     obs::counter(obs::BATCH_QUERIES, "faiss_style").add(m as u64);
     let _span = obs::span(obs::BATCH_LATENCY, "faiss_style");
     let threads = opts.threads.max(1).min(m);
@@ -96,6 +109,8 @@ pub fn faiss_style_search(
             });
         }
     });
+    let rows = (m as u64) * (data.len() as u64);
+    trace.record_with(obs::SpanKind::BatchScan, t_scan, |sp| sp.rows_scanned = rows);
     results
 }
 
@@ -105,6 +120,20 @@ pub fn cache_aware_search(
     ids: &[i64],
     queries: &VectorSet,
     opts: &BatchOptions,
+) -> Vec<Vec<Neighbor>> {
+    cache_aware_search_traced(data, ids, queries, opts, &mut obs::Trace::disabled())
+}
+
+/// [`cache_aware_search`] recording one [`obs::SpanKind::BatchScan`] span per
+/// query block and one [`obs::SpanKind::HeapMerge`] span per block merge into
+/// a caller-supplied trace. The hot loop itself is untouched: a disabled
+/// trace records nothing and never reads the clock.
+pub fn cache_aware_search_traced(
+    data: &VectorSet,
+    ids: &[i64],
+    queries: &VectorSet,
+    opts: &BatchOptions,
+    trace: &mut obs::Trace,
 ) -> Vec<Vec<Neighbor>> {
     assert_eq!(data.len(), ids.len(), "ids must match data rows");
     assert_eq!(data.dim(), queries.dim(), "query dimension mismatch");
@@ -127,6 +156,7 @@ pub fn cache_aware_search(
     for block_start in (0..m).step_by(s) {
         let block_end = (block_start + s).min(m);
         let block_len = block_end - block_start;
+        let t_block = trace.begin();
 
         // One heap per (thread, query-in-block): H[r][j] in Figure 3.
         let per_thread: Vec<Vec<TopK>> = std::thread::scope(|scope| {
@@ -151,8 +181,12 @@ pub fn cache_aware_search(
                 .collect();
             handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
         });
+        trace.record_with(obs::SpanKind::BatchScan, t_block, |sp| {
+            sp.rows_scanned = (block_len as u64) * (n as u64);
+        });
 
         // Merge the t heaps of each query.
+        let t_merge = trace.begin();
         for j in 0..block_len {
             let mut merged = TopK::new(k);
             for thread_heaps in &per_thread {
@@ -160,6 +194,7 @@ pub fn cache_aware_search(
             }
             results.push(merged.into_sorted());
         }
+        trace.record(obs::SpanKind::HeapMerge, t_merge);
     }
     results
 }

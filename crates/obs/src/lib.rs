@@ -27,8 +27,13 @@
 //! test owns).
 
 mod render;
+mod trace;
 
 pub use render::render_prometheus;
+pub use trace::{
+    set_trace_config, slow_query_log, slow_threshold_us, trace_config, CacheOutcome,
+    FinishedTrace, SlowQueryLog, Span, SpanKind, SpanStart, Trace, TraceConfig, MAX_SPANS,
+};
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -125,6 +130,36 @@ impl Histogram {
         self.total.load(Ordering::Relaxed)
     }
 
+    /// Approximate quantile computed directly from the live atomic bucket
+    /// counts — no snapshot, no allocation. Used on the query completion
+    /// path to derive the slow-query threshold from the current p99.
+    pub fn quantile_live_us(&self, q: f64) -> f64 {
+        let count = self.total.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, slot) in self.counts.iter().enumerate() {
+            let c = slot.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if (seen + c) as f64 >= rank {
+                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_US[i - 1] };
+                let upper = if i < BUCKET_BOUNDS_US.len() {
+                    BUCKET_BOUNDS_US[i]
+                } else {
+                    return BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] as f64;
+                };
+                let into = (rank - seen as f64) / c as f64;
+                return lower as f64 + into * (upper - lower) as f64;
+            }
+            seen += c;
+        }
+        BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] as f64
+    }
+
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             bucket_counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
@@ -195,17 +230,24 @@ impl HistogramSnapshot {
     }
 }
 
-/// A `(metric name, label value)` pair; the label is by convention the
-/// collection name, `""` for process-wide series.
+/// A `(metric name, label value, segment)` triple; the label is by
+/// convention the collection (or pool) name, `""` for process-wide series,
+/// and `segment` is set only for segment-granular series such as the
+/// bufferpool hit/miss/eviction counters.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Key {
     pub name: String,
     pub label: String,
+    pub segment: Option<u64>,
 }
 
 impl Key {
     fn new(name: &str, label: &str) -> Self {
-        Key { name: name.to_string(), label: label.to_string() }
+        Key { name: name.to_string(), label: label.to_string(), segment: None }
+    }
+
+    fn with_segment(name: &str, label: &str, segment: u64) -> Self {
+        Key { name: name.to_string(), label: label.to_string(), segment: Some(segment) }
     }
 }
 
@@ -218,12 +260,7 @@ pub struct Registry {
     histograms: RwLock<HashMap<Key, Arc<Histogram>>>,
 }
 
-fn get_or_insert<T: Default>(
-    map: &RwLock<HashMap<Key, Arc<T>>>,
-    name: &str,
-    label: &str,
-) -> Arc<T> {
-    let key = Key::new(name, label);
+fn get_or_insert<T: Default>(map: &RwLock<HashMap<Key, Arc<T>>>, key: Key) -> Arc<T> {
     if let Some(found) = map.read().expect("metrics lock").get(&key) {
         return Arc::clone(found);
     }
@@ -238,17 +275,27 @@ impl Registry {
 
     /// Counter handle for `(name, label)`, creating the series on first use.
     pub fn counter(&self, name: &str, label: &str) -> Arc<Counter> {
-        get_or_insert(&self.counters, name, label)
+        get_or_insert(&self.counters, Key::new(name, label))
+    }
+
+    /// Counter handle for a segment-granular series.
+    pub fn counter_seg(&self, name: &str, label: &str, segment: u64) -> Arc<Counter> {
+        get_or_insert(&self.counters, Key::with_segment(name, label, segment))
     }
 
     /// Gauge handle for `(name, label)`.
     pub fn gauge(&self, name: &str, label: &str) -> Arc<Gauge> {
-        get_or_insert(&self.gauges, name, label)
+        get_or_insert(&self.gauges, Key::new(name, label))
+    }
+
+    /// Gauge handle for a segment-granular series.
+    pub fn gauge_seg(&self, name: &str, label: &str, segment: u64) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, Key::with_segment(name, label, segment))
     }
 
     /// Histogram handle for `(name, label)`.
     pub fn histogram(&self, name: &str, label: &str) -> Arc<Histogram> {
-        get_or_insert(&self.histograms, name, label)
+        get_or_insert(&self.histograms, Key::new(name, label))
     }
 
     /// Start an RAII span over `histogram(name, label)`; elapsed time is
@@ -321,6 +368,16 @@ impl MetricsSnapshot {
     /// Counter value, 0 if the series does not exist.
     pub fn counter(&self, name: &str, label: &str) -> u64 {
         self.counters.get(&Key::new(name, label)).copied().unwrap_or(0)
+    }
+
+    /// Segment-granular counter value, 0 if the series does not exist.
+    pub fn counter_segment(&self, name: &str, label: &str, segment: u64) -> u64 {
+        self.counters.get(&Key::with_segment(name, label, segment)).copied().unwrap_or(0)
+    }
+
+    /// Segment-granular gauge value, 0 if the series does not exist.
+    pub fn gauge_segment(&self, name: &str, label: &str, segment: u64) -> i64 {
+        self.gauges.get(&Key::with_segment(name, label, segment)).copied().unwrap_or(0)
     }
 
     /// Sum of a counter family across all labels.
@@ -427,6 +484,95 @@ pub const LOG_SHIP_RECORDS: &str = "milvus_log_ship_records_total";
 pub const LOG_APPLY_RECORDS: &str = "milvus_log_apply_records_total";
 /// Distributed reader refreshes.
 pub const READER_REFRESHES: &str = "milvus_reader_refreshes_total";
+/// Queries elected by the trace sampler (process-wide).
+pub const TRACES_SAMPLED: &str = "milvus_traces_sampled_total";
+/// Spans recorded into sampled traces (process-wide).
+pub const TRACE_SPANS: &str = "milvus_trace_spans_total";
+/// Queries whose latency exceeded the slow threshold (per collection).
+pub const SLOW_QUERIES: &str = "milvus_slow_queries_total";
+/// Bufferpool requests served from cache (per pool, and per pool+segment).
+pub const POOL_HITS: &str = "milvus_bufferpool_hits_total";
+/// Bufferpool requests that invoked the loader (per pool, and per
+/// pool+segment).
+pub const POOL_MISSES: &str = "milvus_bufferpool_misses_total";
+/// Segments evicted by the bufferpool (per pool, and per pool+segment).
+pub const POOL_EVICTIONS: &str = "milvus_bufferpool_evictions_total";
+/// Bytes currently resident in the bufferpool (per pool, and per
+/// pool+segment).
+pub const POOL_RESIDENT_BYTES: &str = "milvus_bufferpool_resident_bytes";
+
+// ---------------------------------------------------------------------------
+// Declared metric families: name, type and HELP text. The Prometheus render
+// always emits HELP/TYPE for every declared family — even before the first
+// observation — so dashboards never see series flap in and out of existence.
+// ---------------------------------------------------------------------------
+
+/// Prometheus metric type of a declared family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    /// The `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A declared metric family.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyDesc {
+    pub name: &'static str,
+    pub kind: MetricKind,
+    pub help: &'static str,
+}
+
+/// Every metric family this workspace records, sorted by name.
+pub const FAMILIES: &[FamilyDesc] = &[
+    FamilyDesc { name: BATCH_LATENCY, kind: MetricKind::Histogram, help: "Batch-engine batch latency." },
+    FamilyDesc { name: BATCH_QUERIES, kind: MetricKind::Counter, help: "Queries executed through the batch engines." },
+    FamilyDesc { name: POOL_EVICTIONS, kind: MetricKind::Counter, help: "Segments evicted by the bufferpool." },
+    FamilyDesc { name: POOL_HITS, kind: MetricKind::Counter, help: "Bufferpool requests served from cache." },
+    FamilyDesc { name: POOL_MISSES, kind: MetricKind::Counter, help: "Bufferpool requests that invoked the loader." },
+    FamilyDesc { name: POOL_RESIDENT_BYTES, kind: MetricKind::Gauge, help: "Bytes currently resident in the bufferpool." },
+    FamilyDesc { name: COMPACTION_LATENCY, kind: MetricKind::Histogram, help: "Segment compaction latency." },
+    FamilyDesc { name: COMPACTIONS, kind: MetricKind::Counter, help: "Segment merges (compactions) completed." },
+    FamilyDesc { name: DELETE_ROWS, kind: MetricKind::Counter, help: "Entities deleted." },
+    FamilyDesc { name: FLUSH_LATENCY, kind: MetricKind::Histogram, help: "flush() barrier latency." },
+    FamilyDesc { name: INDEX_BUILD_LATENCY, kind: MetricKind::Histogram, help: "Index build latency." },
+    FamilyDesc { name: INDEX_BUILDS, kind: MetricKind::Counter, help: "Index builds completed." },
+    FamilyDesc { name: INGEST_BATCHES, kind: MetricKind::Counter, help: "Insert batches accepted." },
+    FamilyDesc { name: INGEST_LATENCY, kind: MetricKind::Histogram, help: "Insert latency." },
+    FamilyDesc { name: INGEST_ROWS, kind: MetricKind::Counter, help: "Rows accepted by insert." },
+    FamilyDesc { name: LOG_APPLY_RECORDS, kind: MetricKind::Counter, help: "Log records applied by distributed readers." },
+    FamilyDesc { name: LOG_SHIP_RECORDS, kind: MetricKind::Counter, help: "Log records shipped by the distributed writer." },
+    FamilyDesc { name: MEMTABLE_FLUSH_LATENCY, kind: MetricKind::Histogram, help: "Memtable flush latency." },
+    FamilyDesc { name: MEMTABLE_FLUSHES, kind: MetricKind::Counter, help: "Memtable flushes to segments." },
+    FamilyDesc { name: OBJECT_ERRORS, kind: MetricKind::Counter, help: "Object-store failures (includes injected faults)." },
+    FamilyDesc { name: OBJECT_GET_BYTES, kind: MetricKind::Counter, help: "Object-store bytes read." },
+    FamilyDesc { name: OBJECT_GETS, kind: MetricKind::Counter, help: "Object-store get calls." },
+    FamilyDesc { name: OBJECT_PUT_BYTES, kind: MetricKind::Counter, help: "Object-store bytes written." },
+    FamilyDesc { name: OBJECT_PUTS, kind: MetricKind::Counter, help: "Object-store put calls." },
+    FamilyDesc { name: QUERY_EF_EFFECTIVE, kind: MetricKind::Counter, help: "Effective ef used by HNSW searches." },
+    FamilyDesc { name: QUERY_ERRORS, kind: MetricKind::Counter, help: "Query failures." },
+    FamilyDesc { name: QUERY_LATENCY, kind: MetricKind::Histogram, help: "Query latency." },
+    FamilyDesc { name: QUERY_NPROBE_EFFECTIVE, kind: MetricKind::Counter, help: "Effective nprobe used by IVF searches." },
+    FamilyDesc { name: QUERY_TOTAL, kind: MetricKind::Counter, help: "Queries served." },
+    FamilyDesc { name: READER_REFRESHES, kind: MetricKind::Counter, help: "Distributed reader refreshes." },
+    FamilyDesc { name: SEGMENTS, kind: MetricKind::Gauge, help: "Live segment count of the current snapshot." },
+    FamilyDesc { name: SLOW_QUERIES, kind: MetricKind::Counter, help: "Queries whose latency exceeded the slow threshold." },
+    FamilyDesc { name: TRACE_SPANS, kind: MetricKind::Counter, help: "Spans recorded into sampled traces." },
+    FamilyDesc { name: TRACES_SAMPLED, kind: MetricKind::Counter, help: "Queries elected by the trace sampler." },
+    FamilyDesc { name: WAL_APPENDS, kind: MetricKind::Counter, help: "WAL records appended." },
+    FamilyDesc { name: WAL_BYTES, kind: MetricKind::Counter, help: "WAL bytes appended." },
+];
 
 #[cfg(test)]
 mod tests {

@@ -1,11 +1,25 @@
 //! Prometheus text exposition (version 0.0.4) of a [`MetricsSnapshot`].
+//!
+//! Every *declared* family ([`crate::FAMILIES`]) always renders its `# HELP`
+//! and `# TYPE` lines, even with zero observations, so dashboards never see
+//! a family appear out of nowhere after its first event (series flapping).
+//! Ad-hoc families (series recorded under names not in the declaration
+//! table, e.g. from tests) still render with a `# TYPE` header derived from
+//! the registry map they live in.
 
-use crate::{HistogramSnapshot, Key, MetricsSnapshot, BUCKET_BOUNDS_US};
+use std::collections::BTreeMap;
+
+use crate::{
+    FamilyDesc, HistogramSnapshot, Key, MetricKind, MetricsSnapshot, BUCKET_BOUNDS_US, FAMILIES,
+};
 
 fn label_suffix(key: &Key, extra: Option<(&str, String)>) -> String {
     let mut parts = Vec::new();
     if !key.label.is_empty() {
         parts.push(format!("collection=\"{}\"", key.label));
+    }
+    if let Some(seg) = key.segment {
+        parts.push(format!("segment=\"{seg}\""));
     }
     if let Some((k, v)) = extra {
         parts.push(format!("{k}=\"{v}\""));
@@ -43,36 +57,74 @@ fn render_histogram(out: &mut String, key: &Key, h: &HistogramSnapshot) {
     out.push_str(&format!("{}_count{} {}\n", key.name, label_suffix(key, None), h.count));
 }
 
-/// Render the snapshot in Prometheus text format, one `# TYPE` header per
-/// metric family, series ordered by name then label.
+fn declared(name: &str) -> Option<&'static FamilyDesc> {
+    FAMILIES.iter().find(|f| f.name == name)
+}
+
+fn push_header(out: &mut String, name: &str, fallback_kind: MetricKind) {
+    match declared(name) {
+        Some(f) => {
+            out.push_str(&format!("# HELP {} {}\n", f.name, f.help));
+            out.push_str(&format!("# TYPE {} {}\n", f.name, f.kind.as_str()));
+        }
+        None => out.push_str(&format!("# TYPE {name} {}\n", fallback_kind.as_str())),
+    }
+}
+
+/// Group a series map by family name, preserving key order within a family.
+fn by_family<V>(map: &BTreeMap<Key, V>) -> BTreeMap<&str, Vec<(&Key, &V)>> {
+    let mut grouped: BTreeMap<&str, Vec<(&Key, &V)>> = BTreeMap::new();
+    for (key, value) in map {
+        grouped.entry(key.name.as_str()).or_default().push((key, value));
+    }
+    grouped
+}
+
+/// Render the snapshot in Prometheus text format: one HELP/TYPE header per
+/// family (declared families always present), series ordered by name, then
+/// label, then segment.
 pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
 
-    let mut last_family = "";
-    for (key, value) in &snap.counters {
-        if key.name != last_family {
-            out.push_str(&format!("# TYPE {} counter\n", key.name));
-            last_family = &key.name;
+    let counters = by_family(&snap.counters);
+    let gauges = by_family(&snap.gauges);
+    let histograms = by_family(&snap.histograms);
+
+    // Union of declared and observed family names, per kind, sorted.
+    let mut counter_names: Vec<&str> = counters.keys().copied().collect();
+    let mut gauge_names: Vec<&str> = gauges.keys().copied().collect();
+    let mut histogram_names: Vec<&str> = histograms.keys().copied().collect();
+    for f in FAMILIES {
+        match f.kind {
+            MetricKind::Counter => counter_names.push(f.name),
+            MetricKind::Gauge => gauge_names.push(f.name),
+            MetricKind::Histogram => histogram_names.push(f.name),
         }
-        out.push_str(&format!("{}{} {}\n", key.name, label_suffix(key, None), value));
+    }
+    for names in [&mut counter_names, &mut gauge_names, &mut histogram_names] {
+        names.sort_unstable();
+        names.dedup();
     }
 
-    let mut last_family = "";
-    for (key, value) in &snap.gauges {
-        if key.name != last_family {
-            out.push_str(&format!("# TYPE {} gauge\n", key.name));
-            last_family = &key.name;
+    for name in counter_names {
+        push_header(&mut out, name, MetricKind::Counter);
+        for (key, value) in counters.get(name).map(Vec::as_slice).unwrap_or_default() {
+            out.push_str(&format!("{}{} {}\n", key.name, label_suffix(key, None), value));
         }
-        out.push_str(&format!("{}{} {}\n", key.name, label_suffix(key, None), value));
     }
 
-    let mut last_family = "";
-    for (key, h) in &snap.histograms {
-        if key.name != last_family {
-            out.push_str(&format!("# TYPE {} histogram\n", key.name));
-            last_family = &key.name;
+    for name in gauge_names {
+        push_header(&mut out, name, MetricKind::Gauge);
+        for (key, value) in gauges.get(name).map(Vec::as_slice).unwrap_or_default() {
+            out.push_str(&format!("{}{} {}\n", key.name, label_suffix(key, None), value));
         }
-        render_histogram(&mut out, key, h);
+    }
+
+    for name in histogram_names {
+        push_header(&mut out, name, MetricKind::Histogram);
+        for (key, h) in histograms.get(name).map(Vec::as_slice).unwrap_or_default() {
+            render_histogram(&mut out, key, h);
+        }
     }
 
     out
@@ -110,5 +162,54 @@ mod tests {
         r.counter("milvus_wal_appends_total", "").add(2);
         let text = r.render_prometheus();
         assert!(text.contains("milvus_wal_appends_total 2\n"), "{text}");
+    }
+
+    #[test]
+    fn zero_observation_families_still_render_help_and_type() {
+        // A completely untouched registry still declares every family.
+        let text = Registry::new().render_prometheus();
+        for f in crate::FAMILIES {
+            assert!(
+                text.contains(&format!("# HELP {} ", f.name)),
+                "missing HELP for {}",
+                f.name
+            );
+            assert!(
+                text.contains(&format!("# TYPE {} {}", f.name, f.kind.as_str())),
+                "missing TYPE for {}",
+                f.name
+            );
+        }
+        // No series lines: every non-empty line is a comment.
+        assert!(text.lines().all(|l| l.is_empty() || l.starts_with('#')), "{text}");
+    }
+
+    #[test]
+    fn segment_granular_series_carry_a_segment_label() {
+        let r = Registry::new();
+        r.counter_seg(crate::POOL_HITS, "reader-1", 42).add(9);
+        r.gauge_seg(crate::POOL_RESIDENT_BYTES, "reader-1", 42).set(1024);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("milvus_bufferpool_hits_total{collection=\"reader-1\",segment=\"42\"} 9"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "milvus_bufferpool_resident_bytes{collection=\"reader-1\",segment=\"42\"} 1024"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn headers_appear_once_per_family() {
+        let r = Registry::new();
+        r.counter("milvus_query_total", "a").inc();
+        r.counter("milvus_query_total", "b").inc();
+        let text = r.render_prometheus();
+        let headers =
+            text.lines().filter(|l| *l == "# TYPE milvus_query_total counter").count();
+        assert_eq!(headers, 1, "{text}");
     }
 }

@@ -183,6 +183,25 @@ impl FilterDataset {
         }
     }
 
+    /// [`Self::search`] recording a [`milvus_obs::SpanKind::Filter`] span
+    /// (rows = actual distance computations) into a per-query trace.
+    pub fn search_traced(
+        &self,
+        query: &[f32],
+        pred: RangePredicate,
+        params: &SearchParams,
+        strategy: Strategy,
+        qtrace: &mut milvus_obs::Trace,
+    ) -> Result<(Vec<Neighbor>, ExecTrace)> {
+        let t = qtrace.begin();
+        let result = self.search(query, pred, params, strategy);
+        if let Ok((_, exec)) = &result {
+            let rows = exec.distance_computations as u64;
+            qtrace.record_with(milvus_obs::SpanKind::Filter, t, |sp| sp.rows_scanned = rows);
+        }
+        result
+    }
+
     /// Pure vector search, no attribute check (used by strategy E on covered
     /// partitions).
     pub fn vector_only(
@@ -437,6 +456,25 @@ impl PartitionedDataset {
             lists.push(res);
         }
         Ok((milvus_index::topk::merge_sorted(&lists, params.k), trace))
+    }
+
+    /// [`Self::search`] recording one [`milvus_obs::SpanKind::Filter`] span
+    /// (rows = distance computations across touched partitions) into a
+    /// per-query trace.
+    pub fn search_traced(
+        &self,
+        query: &[f32],
+        pred: RangePredicate,
+        params: &SearchParams,
+        qtrace: &mut milvus_obs::Trace,
+    ) -> Result<(Vec<Neighbor>, ExecTrace)> {
+        let t = qtrace.begin();
+        let result = self.search(query, pred, params);
+        if let Ok((_, exec)) = &result {
+            let rows = exec.distance_computations as u64;
+            qtrace.record_with(milvus_obs::SpanKind::Filter, t, |sp| sp.rows_scanned = rows);
+        }
+        result
     }
 }
 

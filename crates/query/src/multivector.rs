@@ -186,19 +186,39 @@ impl MultiVectorEngine {
 
     /// The naive approach: per-field top-k union, re-score candidates.
     pub fn naive(&self, query: &[&[f32]], params: &SearchParams) -> Result<Vec<Neighbor>> {
+        self.naive_traced(query, params, &mut milvus_obs::Trace::disabled())
+    }
+
+    /// [`Self::naive`] recording one [`milvus_obs::SpanKind::IndexSearch`]
+    /// span per field probe and a [`milvus_obs::SpanKind::Rerank`] span for
+    /// the candidate re-scoring into a caller-supplied trace.
+    pub fn naive_traced(
+        &self,
+        query: &[&[f32]],
+        params: &SearchParams,
+        qtrace: &mut milvus_obs::Trace,
+    ) -> Result<Vec<Neighbor>> {
         self.check_query(query)?;
         let mut candidates: Vec<i64> = Vec::new();
         for (index, q) in self.indexes.iter().zip(query) {
-            candidates.extend(index.search(q, params)?.into_iter().map(|n| n.id));
+            let t = qtrace.begin();
+            let found = index.search(q, params)?;
+            qtrace.record_with(milvus_obs::SpanKind::IndexSearch, t, |sp| {
+                sp.rows_scanned = found.len() as u64;
+            });
+            candidates.extend(found.into_iter().map(|n| n.id));
         }
         candidates.sort_unstable();
         candidates.dedup();
+        let t = qtrace.begin();
+        let ncands = candidates.len() as u64;
         let mut heap = TopK::new(params.k.max(1));
         for id in candidates {
             if let Some(row) = self.row_of(id) {
                 heap.push(id, self.aggregate_row(query, row));
             }
         }
+        qtrace.record_with(milvus_obs::SpanKind::Rerank, t, |sp| sp.rows_scanned = ncands);
         Ok(heap.into_sorted())
     }
 

@@ -6,16 +6,27 @@
 //! [`BufferPool::get_or_load`]; misses invoke the supplied loader (typically
 //! an object-store fetch + decode) and may evict the least recently used
 //! segments to stay within the byte budget.
+//!
+//! Telemetry: besides the pool-level [`PoolStats`], the pool keeps
+//! **per-segment** hit/miss/eviction counters keyed by the *segment id* (not
+//! the cache key, so shard/version composite keys still aggregate onto the
+//! segment). Pools constructed with [`BufferPool::with_label`] additionally
+//! export every counter to the global metrics registry —
+//! `milvus_bufferpool_{hits,misses,evictions}_total` and the
+//! `milvus_bufferpool_resident_bytes` gauge, each both pool-wide and with a
+//! `segment` label — which is what `GET /metrics` scrapes and what trace
+//! spans consult for cache attribution.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use milvus_obs as obs;
 use parking_lot::Mutex;
 
 use crate::error::Result;
 use crate::segment::Segment;
 
-/// Cache statistics.
+/// Pool-level cache statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Requests served from cache.
@@ -24,6 +35,21 @@ pub struct PoolStats {
     pub misses: u64,
     /// Segments evicted to make room.
     pub evictions: u64,
+}
+
+/// Per-segment cache statistics (keyed by segment id).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentPoolStats {
+    /// Requests for this segment served from cache.
+    pub hits: u64,
+    /// Requests for this segment that invoked the loader.
+    pub misses: u64,
+    /// Times this segment was evicted.
+    pub evictions: u64,
+    /// Bytes this segment currently occupies (0 when not resident).
+    pub resident_bytes: usize,
+    /// Outcome of the most recent access (trace span attribution).
+    pub last_outcome: obs::CacheOutcome,
 }
 
 struct Entry {
@@ -37,24 +63,37 @@ struct Inner {
     clock: u64,
     used_bytes: usize,
     stats: PoolStats,
+    /// segment id → cumulative stats (survives eviction).
+    seg_stats: HashMap<u64, SegmentPoolStats>,
 }
 
-/// LRU cache of segments keyed by segment id.
+/// LRU cache of segments keyed by caller-chosen cache key.
 pub struct BufferPool {
     capacity_bytes: usize,
+    /// Metrics label; empty = do not export to the global registry.
+    label: String,
     inner: Mutex<Inner>,
 }
 
 impl BufferPool {
-    /// A pool holding at most `capacity_bytes` of segment payloads.
+    /// A pool holding at most `capacity_bytes` of segment payloads, not
+    /// exported to the metrics registry.
     pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_label(capacity_bytes, "")
+    }
+
+    /// A pool that additionally exports pool-wide and per-segment series
+    /// under `label` (by convention the owning node, e.g. `reader-3`).
+    pub fn with_label(capacity_bytes: usize, label: impl Into<String>) -> Self {
         Self {
             capacity_bytes,
+            label: label.into(),
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
                 clock: 0,
                 used_bytes: 0,
                 stats: PoolStats::default(),
+                seg_stats: HashMap::new(),
             }),
         }
     }
@@ -62,6 +101,11 @@ impl BufferPool {
     /// Byte budget.
     pub fn capacity_bytes(&self) -> usize {
         self.capacity_bytes
+    }
+
+    /// The metrics label (empty when unexported).
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// Bytes currently cached.
@@ -79,33 +123,88 @@ impl BufferPool {
         self.len() == 0
     }
 
-    /// Counters so far.
+    /// Pool-level counters so far.
     pub fn stats(&self) -> PoolStats {
         self.inner.lock().stats
     }
 
-    /// Fetch `id` from cache, else run `load` and cache the result.
+    /// Cumulative stats for one segment id (zeroes if never seen).
+    pub fn segment_stats(&self, segment_id: u64) -> SegmentPoolStats {
+        self.inner.lock().seg_stats.get(&segment_id).copied().unwrap_or_default()
+    }
+
+    /// Cumulative stats of every segment this pool has seen, sorted by id.
+    pub fn all_segment_stats(&self) -> Vec<(u64, SegmentPoolStats)> {
+        let inner = self.inner.lock();
+        let mut v: Vec<(u64, SegmentPoolStats)> =
+            inner.seg_stats.iter().map(|(&id, &s)| (id, s)).collect();
+        v.sort_by_key(|&(id, _)| id);
+        v
+    }
+
+    /// Cache outcome of the most recent access to `segment_id`
+    /// ([`obs::CacheOutcome::Untracked`] when never accessed). Trace spans
+    /// use this to attribute hit/miss to the segment they scan.
+    pub fn last_outcome(&self, segment_id: u64) -> obs::CacheOutcome {
+        self.inner
+            .lock()
+            .seg_stats
+            .get(&segment_id)
+            .map_or(obs::CacheOutcome::Untracked, |s| s.last_outcome)
+    }
+
+    /// Fetch `key` from cache, else run `load` and cache the result.
     pub fn get_or_load(
         &self,
-        id: u64,
+        key: u64,
         load: impl FnOnce() -> Result<Arc<Segment>>,
     ) -> Result<Arc<Segment>> {
+        self.get_or_load_outcome(key, load).map(|(seg, _)| seg)
+    }
+
+    /// Like [`BufferPool::get_or_load`], also reporting whether the request
+    /// was a cache hit (for trace spans).
+    pub fn get_or_load_outcome(
+        &self,
+        key: u64,
+        load: impl FnOnce() -> Result<Arc<Segment>>,
+    ) -> Result<(Arc<Segment>, bool)> {
         {
             let mut inner = self.inner.lock();
             inner.clock += 1;
             let clock = inner.clock;
-            if let Some(e) = inner.entries.get_mut(&id) {
+            if let Some(e) = inner.entries.get_mut(&key) {
                 e.last_used = clock;
                 let seg = Arc::clone(&e.segment);
                 inner.stats.hits += 1;
-                return Ok(seg);
+                let stat = inner.seg_stats.entry(seg.id).or_default();
+                stat.hits += 1;
+                stat.last_outcome = obs::CacheOutcome::Hit;
+                if !self.label.is_empty() {
+                    obs::registry().counter(obs::POOL_HITS, &self.label).inc();
+                    obs::registry().counter_seg(obs::POOL_HITS, &self.label, seg.id).inc();
+                }
+                return Ok((seg, true));
             }
             inner.stats.misses += 1;
+            if !self.label.is_empty() {
+                obs::registry().counter(obs::POOL_MISSES, &self.label).inc();
+            }
         }
-        // Load outside the lock (a real fetch can be slow).
+        // Load outside the lock (a real fetch can be slow). The segment id is
+        // only known after decode, so the per-segment miss is attributed here.
         let segment = load()?;
-        self.insert_with_key(id, Arc::clone(&segment));
-        Ok(segment)
+        {
+            let mut inner = self.inner.lock();
+            let stat = inner.seg_stats.entry(segment.id).or_default();
+            stat.misses += 1;
+            stat.last_outcome = obs::CacheOutcome::Miss;
+        }
+        if !self.label.is_empty() {
+            obs::registry().counter_seg(obs::POOL_MISSES, &self.label, segment.id).inc();
+        }
+        self.insert_with_key(key, Arc::clone(&segment));
+        Ok((segment, false))
     }
 
     /// Insert (or refresh) a segment under its own id.
@@ -118,14 +217,24 @@ impl BufferPool {
     /// LRU entries if over budget.
     pub fn insert_with_key(&self, key: u64, segment: Arc<Segment>) {
         let bytes = segment.memory_bytes();
+        let seg_id = segment.id;
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
         if let Some(old) = inner.entries.remove(&key) {
             inner.used_bytes -= old.bytes;
+            let old_id = old.segment.id;
+            if let Some(s) = inner.seg_stats.get_mut(&old_id) {
+                s.resident_bytes = 0;
+            }
         }
         inner.entries.insert(key, Entry { segment, bytes, last_used: clock });
         inner.used_bytes += bytes;
+        inner.seg_stats.entry(seg_id).or_default().resident_bytes = bytes;
+        if !self.label.is_empty() {
+            obs::registry().gauge_seg(obs::POOL_RESIDENT_BYTES, &self.label, seg_id)
+                .set(bytes as i64);
+        }
         // Evict LRU until within budget (never evict the entry just added if
         // it alone exceeds capacity — it is in use by the caller).
         while inner.used_bytes > self.capacity_bytes && inner.entries.len() > 1 {
@@ -138,14 +247,36 @@ impl BufferPool {
             let e = inner.entries.remove(&victim).expect("present");
             inner.used_bytes -= e.bytes;
             inner.stats.evictions += 1;
+            let victim_id = e.segment.id;
+            let stat = inner.seg_stats.entry(victim_id).or_default();
+            stat.evictions += 1;
+            stat.resident_bytes = 0;
+            if !self.label.is_empty() {
+                obs::registry().counter(obs::POOL_EVICTIONS, &self.label).inc();
+                obs::registry().counter_seg(obs::POOL_EVICTIONS, &self.label, victim_id).inc();
+                obs::registry().gauge_seg(obs::POOL_RESIDENT_BYTES, &self.label, victim_id).set(0);
+            }
+        }
+        if !self.label.is_empty() {
+            obs::registry().gauge(obs::POOL_RESIDENT_BYTES, &self.label)
+                .set(inner.used_bytes as i64);
         }
     }
 
-    /// Drop a segment (e.g. after it was merged away).
-    pub fn invalidate(&self, id: u64) {
+    /// Drop a segment entry (e.g. after it was merged away).
+    pub fn invalidate(&self, key: u64) {
         let mut inner = self.inner.lock();
-        if let Some(e) = inner.entries.remove(&id) {
+        if let Some(e) = inner.entries.remove(&key) {
             inner.used_bytes -= e.bytes;
+            let seg_id = e.segment.id;
+            if let Some(s) = inner.seg_stats.get_mut(&seg_id) {
+                s.resident_bytes = 0;
+            }
+            if !self.label.is_empty() {
+                obs::registry().gauge_seg(obs::POOL_RESIDENT_BYTES, &self.label, seg_id).set(0);
+                obs::registry().gauge(obs::POOL_RESIDENT_BYTES, &self.label)
+                    .set(inner.used_bytes as i64);
+            }
         }
     }
 }
@@ -232,5 +363,51 @@ mod tests {
         });
         assert!(r.is_err());
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn per_segment_stats_track_hits_misses_and_outcomes() {
+        let pool = BufferPool::new(1 << 20);
+        let s1 = seg(1, 10);
+        assert_eq!(pool.last_outcome(1), obs::CacheOutcome::Untracked);
+        let (_, hit) = pool.get_or_load_outcome(1, || Ok(Arc::clone(&s1))).unwrap();
+        assert!(!hit);
+        assert_eq!(pool.last_outcome(1), obs::CacheOutcome::Miss);
+        let (_, hit) = pool.get_or_load_outcome(1, || panic!("cached")).unwrap();
+        assert!(hit);
+        assert_eq!(pool.last_outcome(1), obs::CacheOutcome::Hit);
+        let st = pool.segment_stats(1);
+        assert_eq!((st.hits, st.misses, st.evictions), (1, 1, 0));
+        assert!(st.resident_bytes > 0);
+        assert_eq!(pool.all_segment_stats().len(), 1);
+    }
+
+    #[test]
+    fn eviction_is_attributed_to_the_victim_segment() {
+        let pool = BufferPool::new(500);
+        pool.insert(seg(1, 10));
+        pool.insert(seg(2, 10));
+        pool.get_or_load(1, || panic!("cached")).unwrap();
+        pool.insert(seg(3, 10)); // evicts segment 2
+        let st = pool.segment_stats(2);
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.resident_bytes, 0);
+        assert!(pool.segment_stats(1).resident_bytes > 0);
+    }
+
+    #[test]
+    fn labeled_pool_exports_global_series() {
+        let label = "pool_unit_test";
+        let pool = BufferPool::with_label(1 << 20, label);
+        let s = seg(7, 10);
+        pool.get_or_load(7, || Ok(Arc::clone(&s))).unwrap();
+        pool.get_or_load(7, || panic!("cached")).unwrap();
+        let snap = obs::registry().snapshot();
+        assert_eq!(snap.counter(obs::POOL_HITS, label), 1);
+        assert_eq!(snap.counter(obs::POOL_MISSES, label), 1);
+        assert_eq!(snap.counter_segment(obs::POOL_HITS, label, 7), 1);
+        assert_eq!(snap.counter_segment(obs::POOL_MISSES, label, 7), 1);
+        assert!(snap.gauge_segment(obs::POOL_RESIDENT_BYTES, label, 7) > 0);
+        assert!(snap.gauge(obs::POOL_RESIDENT_BYTES, label) > 0);
     }
 }

@@ -36,5 +36,5 @@ pub mod wal;
 pub use entity::{InsertBatch, Schema, VectorField};
 pub use error::{Result, StorageError};
 pub use lsm::{LsmConfig, LsmEngine};
-pub use segment::Segment;
+pub use segment::{clear_scan_delays, inject_scan_delay, ScanStats, Segment};
 pub use snapshot::Snapshot;

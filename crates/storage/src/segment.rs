@@ -23,6 +23,55 @@ use crate::error::{Result, StorageError};
 use milvus_index::distance;
 use milvus_index::topk;
 
+/// What one segment scan did — feeds per-segment trace spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Candidate rows the scan considered: the full live row count for a
+    /// brute-force pass, the indexed live universe for an index probe.
+    pub rows_scanned: u64,
+    /// Whether an ANN index served the scan (vs. brute-force columnar scan).
+    pub used_index: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: deliberately slow one segment's scans, so tests (and the
+// ISSUE 2 acceptance check) can make a specific segment dominate a query and
+// verify the slow-query log attributes the time to it. Disabled flag keeps
+// the production scan at a single relaxed atomic load.
+// ---------------------------------------------------------------------------
+
+static SCAN_FAULTS_ARMED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+fn scan_delays() -> &'static parking_lot::Mutex<HashMap<u64, std::time::Duration>> {
+    static DELAYS: std::sync::OnceLock<parking_lot::Mutex<HashMap<u64, std::time::Duration>>> =
+        std::sync::OnceLock::new();
+    DELAYS.get_or_init(|| parking_lot::Mutex::new(HashMap::new()))
+}
+
+/// Arm a scan delay: every subsequent scan of segment `segment_id` (in any
+/// collection of this process) sleeps for `delay` first.
+pub fn inject_scan_delay(segment_id: u64, delay: std::time::Duration) {
+    scan_delays().lock().insert(segment_id, delay);
+    SCAN_FAULTS_ARMED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Disarm all scan delays.
+pub fn clear_scan_delays() {
+    scan_delays().lock().clear();
+    SCAN_FAULTS_ARMED.store(false, std::sync::atomic::Ordering::SeqCst);
+}
+
+#[inline]
+fn apply_scan_fault(segment_id: u64) {
+    if SCAN_FAULTS_ARMED.load(std::sync::atomic::Ordering::Relaxed) {
+        let delay = scan_delays().lock().get(&segment_id).copied();
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+    }
+}
+
 /// The immutable columnar payload of a segment.
 #[derive(Debug, Clone)]
 pub struct SegmentData {
@@ -216,15 +265,31 @@ impl Segment {
         params: &SearchParams,
         allow: Option<&dyn Fn(i64) -> bool>,
     ) -> Result<Vec<Neighbor>> {
+        self.search_field_stats(schema, field, query, params, allow).map(|(r, _)| r)
+    }
+
+    /// [`Self::search_field`] plus [`ScanStats`] describing what the scan did
+    /// — used by the tracing layer to fill per-segment spans.
+    pub fn search_field_stats(
+        &self,
+        schema: &Schema,
+        field: &str,
+        query: &[f32],
+        params: &SearchParams,
+        allow: Option<&dyn Fn(i64) -> bool>,
+    ) -> Result<(Vec<Neighbor>, ScanStats)> {
+        apply_scan_fault(self.id);
         let fi = schema
             .vector_field_index(field)
             .ok_or_else(|| StorageError::SchemaViolation(format!("no vector field {field}")))?;
         let metric = schema.vector_fields[fi].metric;
+        let stats = ScanStats { rows_scanned: self.live_rows() as u64, used_index: false };
 
         if let Some(index) = self.index(field) {
             let deleted = Arc::clone(&self.deleted);
             let pred = move |id: i64| !deleted.contains(&id) && allow.is_none_or(|f| f(id));
-            return Ok(index.search_filtered(query, params, &pred)?);
+            let res = index.search_filtered(query, params, &pred)?;
+            return Ok((res, ScanStats { used_index: true, ..stats }));
         }
 
         let col = &self.data.vectors[fi];
@@ -241,7 +306,7 @@ impl Segment {
                 heap.push(id, distance::distance(metric, query, v));
             }
         }
-        Ok(heap.into_sorted())
+        Ok((heap.into_sorted(), stats))
     }
 
     /// Physically merge `segments` into one, dropping tombstoned rows

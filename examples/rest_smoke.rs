@@ -1,0 +1,127 @@
+//! Offline CI smoke test for the observability HTTP surface: boots the REST
+//! server, generates a little traffic (including one guaranteed-slow query),
+//! then asserts that `GET /metrics` and `GET /debug/slow_queries` answer 200
+//! with well-formed payloads. Exits non-zero on any failure so CI can gate
+//! on it without external services.
+//!
+//! Run with: `cargo run --release -p milvus-examples --bin rest_smoke`
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::exit;
+use std::sync::Arc;
+
+use milvus_core::config::TraceConfig;
+use milvus_core::rest::RestServer;
+use milvus_core::Milvus;
+
+/// Minimal HTTP/1.1 client: returns (status code, body).
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: smoke\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut response = String::new();
+    BufReader::new(stream).read_to_string(&mut response).expect("recv");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+fn check(name: &str, ok: bool, detail: &str) {
+    if ok {
+        println!("  ok   {name}");
+    } else {
+        eprintln!("  FAIL {name}: {detail}");
+        exit(1);
+    }
+}
+
+fn expect_ok(name: &str, (status, body): (u16, String)) -> String {
+    check(name, (200..300).contains(&status), &format!("status {status}, body: {body}"));
+    body
+}
+
+fn main() {
+    let milvus = Arc::new(Milvus::new());
+    // Threshold 0 marks every sampled query as slow, so the ring buffer is
+    // guaranteed to have an entry by the time we poll the debug endpoint.
+    milvus.configure_tracing(TraceConfig {
+        sample_rate: 1.0,
+        slow_threshold_us: Some(0),
+        ..Default::default()
+    });
+
+    let server = RestServer::serve(milvus, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    println!("smoke: REST server on http://{addr}");
+
+    expect_ok(
+        "POST /collections",
+        request(addr, "POST", "/collections", r#"{"name":"smoke","dim":4,"metric":"L2"}"#),
+    );
+    expect_ok(
+        "POST /collections/smoke/entities",
+        request(
+            addr,
+            "POST",
+            "/collections/smoke/entities",
+            r#"{"ids":[1,2,3,4],
+                "vectors":[[1.0,0.0,0.0,0.0],[0.0,1.0,0.0,0.0],
+                           [0.0,0.0,1.0,0.0],[0.0,0.0,0.0,1.0]]}"#,
+        ),
+    );
+    expect_ok(
+        "POST /collections/smoke/flush",
+        request(addr, "POST", "/collections/smoke/flush", ""),
+    );
+    expect_ok(
+        "POST /collections/smoke/search",
+        request(addr, "POST", "/collections/smoke/search", r#"{"vector":[0.9,0.1,0.0,0.0],"k":2}"#),
+    );
+
+    // --- GET /metrics: must be 200 and carry the bufferpool + tracing families.
+    let metrics = expect_ok("GET /metrics", request(addr, "GET", "/metrics", ""));
+    for family in [
+        "milvus_bufferpool_hits_total",
+        "milvus_bufferpool_misses_total",
+        "milvus_bufferpool_evictions_total",
+        "milvus_bufferpool_resident_bytes",
+        "milvus_slow_queries_total",
+        "milvus_traces_sampled_total",
+    ] {
+        check(
+            &format!("/metrics declares {family}"),
+            metrics.contains(&format!("# HELP {family}")),
+            "HELP line missing",
+        );
+    }
+
+    // --- GET /debug/slow_queries: must be 200 and valid JSON with our query.
+    let body =
+        expect_ok("GET /debug/slow_queries", request(addr, "GET", "/debug/slow_queries", ""));
+    let json = match serde::parse_value(&body) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("  FAIL /debug/slow_queries is not valid JSON: {e} — body: {body}");
+            exit(1);
+        }
+    };
+    let count = json["count"].as_f64().unwrap_or(-1.0);
+    check("/debug/slow_queries has count >= 1", count >= 1.0, &format!("count = {count}"));
+    let entries = json["slow_queries"].as_array();
+    let has_ours = entries
+        .map(|arr| arr.iter().any(|t| t["collection"].as_str() == Some("smoke")))
+        .unwrap_or(false);
+    check("ring contains the smoke query", has_ours, &body);
+
+    server.shutdown();
+    println!("smoke: all checks passed ✓");
+}

@@ -1,6 +1,7 @@
 //! Recall regression floor: a fixed, fully seeded workload whose recall@10
 //! must never drop below 0.80 for the two production index types at their
-//! documented default-ish parameters (IVF_FLAT nprobe=16, HNSW ef=64).
+//! documented default-ish parameters (IVF_FLAT nprobe=16, HNSW ef=64), nor
+//! below 0.75 for the scalar-quantized variant (IVF_SQ8 nprobe=16).
 //!
 //! Unlike `recall_quality.rs` (which sweeps many index types at generous
 //! parameters), this test pins ONE deterministic dataset — 10k vectors,
@@ -50,6 +51,15 @@ fn ivf_flat_nprobe16_recall_at_10_floor() {
     let sp = SearchParams { k: K, nprobe: 16, ..Default::default() };
     let r = recall_at_10("IVF_FLAT", &sp);
     assert!(r >= FLOOR, "IVF_FLAT nprobe=16 recall@10 regressed: {r:.3} < {FLOOR}");
+}
+
+#[test]
+fn ivf_sq8_nprobe16_recall_at_10_floor() {
+    // Scalar quantization trades a little recall for 4x smaller vectors;
+    // 0.75 leaves room for quantization error but still catches regressions.
+    let sp = SearchParams { k: K, nprobe: 16, ..Default::default() };
+    let r = recall_at_10("IVF_SQ8", &sp);
+    assert!(r >= 0.75, "IVF_SQ8 nprobe=16 recall@10 regressed: {r:.3} < 0.75");
 }
 
 #[test]
