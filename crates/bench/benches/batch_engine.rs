@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use milvus_datagen as datagen;
-use milvus_index::batch::{cache_aware_search, faiss_style_search, BatchOptions};
+use milvus_exec::Executor;
+use milvus_index::batch::{
+    cache_aware_search, cache_aware_search_exec, faiss_style_search, BatchOptions,
+};
 use milvus_index::Metric;
 use std::hint::black_box;
 
@@ -13,6 +16,7 @@ fn bench_engines(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(300));
 
+    let pool = Executor::new("bench_batch_engine", 4);
     let queries = datagen::sift_like(64, 1);
     for n in [10_000usize, 50_000] {
         let data = datagen::sift_like(n, 2);
@@ -28,6 +32,9 @@ fn bench_engines(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("cache_aware", n), &n, |b, _| {
             b.iter(|| black_box(cache_aware_search(&data, &ids, &queries, &opts)))
+        });
+        group.bench_with_input(BenchmarkId::new("cache_aware_exec", n), &n, |b, _| {
+            b.iter(|| black_box(cache_aware_search_exec(&pool, &data, &ids, &queries, &opts)))
         });
     }
     group.finish();

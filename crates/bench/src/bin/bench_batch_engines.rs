@@ -1,0 +1,143 @@
+//! Batch-engine shoot-out: spawn-per-block engines vs their executor-backed
+//! ports (persistent pool + register-tiled kernels), at batch sizes
+//! m ∈ {1, 64, 1024}.
+//!
+//! Emits `BENCH_batch_engines.json` in the current directory:
+//!
+//! ```json
+//! {"config": {...}, "results": [
+//!   {"m": 1024, "engine": "cache_aware_exec", "best_us": 123, "mean_us": 130,
+//!    "speedup_vs_cache_aware": 1.42}, ...]}
+//! ```
+//!
+//! `--smoke` (or `--test`, for harness compatibility) shrinks the workload to
+//! a CI-friendly second and still exercises every engine and the JSON path.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use milvus_datagen as datagen;
+use milvus_exec::Executor;
+use milvus_index::batch::{
+    cache_aware_search, cache_aware_search_exec, faiss_style_search, faiss_style_search_exec,
+    BatchOptions,
+};
+use milvus_index::topk::Neighbor;
+use milvus_index::vectors::VectorSet;
+use milvus_index::Metric;
+
+type EngineRun<'a> = Box<dyn FnMut() -> Vec<Vec<Neighbor>> + 'a>;
+
+struct Workload {
+    n: usize,
+    dim: usize,
+    k: usize,
+    batch_sizes: Vec<usize>,
+    reps: usize,
+}
+
+struct Measurement {
+    m: usize,
+    engine: &'static str,
+    best_us: f64,
+    mean_us: f64,
+}
+
+fn time_engine(reps: usize, mut run: impl FnMut() -> Vec<Vec<Neighbor>>) -> (f64, f64) {
+    // One warm-up pass (page in data, spin up pool workers), then best/mean
+    // of `reps` timed passes. Best-of filters scheduler noise on shared CI.
+    black_box(run());
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(run());
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        best = best.min(us);
+        total += us;
+    }
+    (best, total / reps as f64)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--test");
+    let wl = if smoke {
+        Workload { n: 1200, dim: 32, k: 10, batch_sizes: vec![1, 8, 64], reps: 2 }
+    } else {
+        Workload { n: 8000, dim: 128, k: 10, batch_sizes: vec![1, 64, 1024], reps: 5 }
+    };
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let data = datagen::clustered(wl.n, wl.dim, 32, 0.0, 100.0, 8.0, 42);
+    let ids: Vec<i64> = (0..wl.n as i64).collect();
+    let pool = Executor::new("bench_batch", threads);
+    let opts = BatchOptions {
+        k: wl.k,
+        metric: Metric::L2,
+        threads,
+        l3_cache_bytes: 32 << 20,
+    };
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for &m in &wl.batch_sizes {
+        let queries: VectorSet = datagen::queries_from(&data, m, 2.0, 43);
+
+        let engines: Vec<(&'static str, EngineRun)> = vec![
+            ("faiss_style", Box::new(|| faiss_style_search(&data, &ids, &queries, &opts))),
+            ("cache_aware", Box::new(|| cache_aware_search(&data, &ids, &queries, &opts))),
+            (
+                "faiss_style_exec",
+                Box::new(|| faiss_style_search_exec(&pool, &data, &ids, &queries, &opts)),
+            ),
+            (
+                "cache_aware_exec",
+                Box::new(|| cache_aware_search_exec(&pool, &data, &ids, &queries, &opts)),
+            ),
+        ];
+        for (name, run) in engines {
+            let (best_us, mean_us) = time_engine(wl.reps, run);
+            eprintln!("m={m:>5}  {name:<18} best {best_us:>10.0} us  mean {mean_us:>10.0} us");
+            results.push(Measurement { m, engine: name, best_us, mean_us });
+        }
+    }
+
+    let mut json = String::from("{\n  \"config\": {");
+    json.push_str(&format!(
+        "\"n\": {}, \"dim\": {}, \"k\": {}, \"threads\": {}, \"reps\": {}, \"smoke\": {}",
+        wl.n, wl.dim, wl.k, threads, wl.reps, smoke
+    ));
+    json.push_str("},\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let baseline = results
+            .iter()
+            .find(|b| b.m == r.m && b.engine == "cache_aware")
+            .map_or(f64::NAN, |b| b.best_us);
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"m\": {}, \"engine\": \"{}\", \"best_us\": {:.1}, \"mean_us\": {:.1}, \
+             \"speedup_vs_cache_aware\": {:.3}}}{}\n",
+            r.m,
+            r.engine,
+            r.best_us,
+            r.mean_us,
+            baseline / r.best_us,
+            sep
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_batch_engines.json", &json).expect("write bench json");
+    eprintln!("wrote BENCH_batch_engines.json");
+
+    if !smoke {
+        let exec = results
+            .iter()
+            .find(|r| r.m == 1024 && r.engine == "cache_aware_exec")
+            .expect("m=1024 measured");
+        let spawn = results
+            .iter()
+            .find(|r| r.m == 1024 && r.engine == "cache_aware")
+            .expect("m=1024 measured");
+        let speedup = spawn.best_us / exec.best_us;
+        eprintln!("executor-backed cache-aware speedup at m=1024: {speedup:.2}x");
+    }
+}

@@ -6,7 +6,9 @@
 //! attribute filtering, and multi-vector query.
 
 use std::sync::Arc;
+use std::time::Instant;
 
+use milvus_exec::Executor;
 use milvus_index::registry::IndexRegistry;
 use milvus_obs as obs;
 use milvus_index::traits::SearchParams;
@@ -227,15 +229,26 @@ impl Collection {
             let nsegs = snap.segments.len();
             trace.record_with(obs::SpanKind::Route, t, |sp| sp.rows_scanned = nsegs as u64);
 
-            let mut lists = Vec::with_capacity(snap.segments.len());
-            for seg in &snap.segments {
-                let t = trace.begin();
-                let (list, stats) =
-                    seg.search_field_stats(&self.schema, field, query, params, None)?;
-                trace.record_with(obs::SpanKind::SegmentScan, t, |sp| {
-                    sp.segment_id = seg.id as i64;
-                    sp.rows_scanned = stats.rows_scanned;
-                });
+            // Fan segment scans out across the global pool. `&mut Trace`
+            // stays on this thread: tasks capture wall-clock windows (only
+            // when the trace is live) and spans are recorded after the join,
+            // in segment order.
+            let trace_on = trace.enabled();
+            let scans = Executor::global().scoped_map(nsegs, |si| {
+                let seg = &snap.segments[si];
+                let start = trace_on.then(Instant::now);
+                let out = seg.search_field_stats(&self.schema, field, query, params, None);
+                (seg.id, out, start.zip(trace_on.then(Instant::now)))
+            });
+            let mut lists = Vec::with_capacity(nsegs);
+            for (seg_id, out, window) in scans {
+                let (list, stats) = out?;
+                if let Some((start, end)) = window {
+                    trace.record_window(obs::SpanKind::SegmentScan, start, end, |sp| {
+                        sp.segment_id = seg_id as i64;
+                        sp.rows_scanned = stats.rows_scanned;
+                    });
+                }
                 lists.push(list);
             }
 
@@ -250,14 +263,19 @@ impl Collection {
         result
     }
 
-    /// Batch vector query: one result list per query.
+    /// Batch vector query: one result list per query, the queries themselves
+    /// fanned out across the global executor (each query's segment scans
+    /// nest inside — the pool's help-while-waiting scopes make that safe).
     pub fn search_batch(
         &self,
         field: &str,
         queries: &VectorSet,
         params: &SearchParams,
     ) -> Result<Vec<Vec<SearchHit>>> {
-        (0..queries.len()).map(|i| self.search(field, queries.get(i), params)).collect()
+        Executor::global()
+            .scoped_map(queries.len(), |i| self.search(field, queries.get(i), params))
+            .into_iter()
+            .collect()
     }
 
     /// Attribute filtering (§2.1, §4.1): top-k under `attr ∈ [lo, hi]`.
@@ -310,26 +328,24 @@ impl Collection {
             let nsegs = snap.segments.len();
             trace.record_with(obs::SpanKind::Route, t, |sp| sp.rows_scanned = nsegs as u64);
 
-            let mut lists = Vec::with_capacity(snap.segments.len());
-            for seg in &snap.segments {
-                let t = trace.begin();
+            // Per-segment filter + scan, fanned out on the global pool; span
+            // windows come back with each task and are recorded post-join in
+            // segment order (same pattern as `search_traced`).
+            let trace_on = trace.enabled();
+            let scans = Executor::global().scoped_map(nsegs, |si| {
+                let seg = &snap.segments[si];
+                let f_start = trace_on.then(Instant::now);
                 let column = &seg.data().attributes[ai];
                 let passing = column.count_range(pred.lo, pred.hi);
                 if passing == 0 {
-                    trace.record_with(obs::SpanKind::Filter, t, |sp| {
-                        sp.segment_id = seg.id as i64;
-                    });
-                    continue;
+                    return (seg.id, 0, f_start.zip(trace_on.then(Instant::now)), None);
                 }
                 let rows: std::collections::HashSet<i64> =
                     column.range_rows(pred.lo, pred.hi).into_iter().collect();
-                trace.record_with(obs::SpanKind::Filter, t, |sp| {
-                    sp.segment_id = seg.id as i64;
-                    sp.rows_scanned = passing as u64;
-                });
+                let f_window = f_start.zip(trace_on.then(Instant::now));
                 // Cost rule: highly selective predicate → exact scan of passers
                 // (A); otherwise filtered index search (B).
-                let t = trace.begin();
+                let s_start = trace_on.then(Instant::now);
                 let mut scanned = passing as u64;
                 let list = if passing <= params.k * 8 || seg.index(field).is_none() {
                     let mut heap = milvus_index::TopK::new(params.k.max(1));
@@ -349,22 +365,41 @@ impl Collection {
                         .get(row);
                         heap.push(id, milvus_index::distance::distance(metric, query, v));
                     }
-                    heap.into_sorted()
+                    Ok(heap.into_sorted())
                 } else {
-                    let (list, stats) = seg.search_field_stats(
+                    seg.search_field_stats(
                         &self.schema,
                         field,
                         query,
                         params,
                         Some(&|id| rows.contains(&id)),
-                    )?;
-                    scanned = stats.rows_scanned;
-                    list
+                    )
+                    .map(|(list, stats)| {
+                        scanned = stats.rows_scanned;
+                        list
+                    })
                 };
-                trace.record_with(obs::SpanKind::SegmentScan, t, |sp| {
-                    sp.segment_id = seg.id as i64;
-                    sp.rows_scanned = scanned;
-                });
+                let s_window = s_start.zip(trace_on.then(Instant::now));
+                (seg.id, passing, f_window, Some((list, scanned, s_window)))
+            });
+            let mut lists = Vec::with_capacity(nsegs);
+            for (seg_id, passing, f_window, scan) in scans {
+                if let Some((start, end)) = f_window {
+                    trace.record_window(obs::SpanKind::Filter, start, end, |sp| {
+                        sp.segment_id = seg_id as i64;
+                        if passing > 0 {
+                            sp.rows_scanned = passing as u64;
+                        }
+                    });
+                }
+                let Some((list, scanned, s_window)) = scan else { continue };
+                let list = list?;
+                if let Some((start, end)) = s_window {
+                    trace.record_window(obs::SpanKind::SegmentScan, start, end, |sp| {
+                        sp.segment_id = seg_id as i64;
+                        sp.rows_scanned = scanned;
+                    });
+                }
                 lists.push(list);
             }
 

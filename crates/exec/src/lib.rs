@@ -1,0 +1,440 @@
+//! Persistent work-stealing executor — the single parallelism substrate for
+//! the query path and the batch engines.
+//!
+//! The paper's fine-grained-parallelism story (§3.2, Figure 3) assigns
+//! threads to *data ranges*; before this crate every parallel site paid a
+//! `std::thread::scope` spawn/join per query block, and `Collection::search`
+//! scanned segments serially. This executor keeps a fixed set of workers
+//! alive for the life of the process, so fan-out costs a queue push instead
+//! of an OS thread spawn, and independent segment scans overlap.
+//!
+//! Design (vendored-deps-only: `std::thread` + lock-based crossbeam-style
+//! deques):
+//!
+//! * **Per-worker injector queues.** Every worker owns a deque. External
+//!   submitters distribute tasks round-robin across the worker deques;
+//!   a worker submitting from inside a task pushes to its *own* deque
+//!   (locality, like crossbeam's `Worker`/`Injector` split).
+//! * **Work stealing.** An idle worker first drains its own deque (FIFO),
+//!   then steals from its peers' back ends. A thread blocked in
+//!   [`Executor::scope`] also steals — callers help execute while they
+//!   wait, which makes nested scopes deadlock-free even on one core.
+//! * **Structured joins.** [`Executor::scope`] mirrors `std::thread::scope`:
+//!   tasks may borrow from the enclosing stack frame, the scope does not
+//!   return until every spawned task finished, and a worker panic is
+//!   propagated to the scope caller (first panic wins).
+//! * **Observability.** The pool exports `milvus_exec_tasks_total`,
+//!   `milvus_exec_steals_total`, `milvus_exec_queue_depth` and
+//!   busy/size worker gauges through `milvus-obs`, labeled by pool name.
+//!
+//! Determinism: [`Executor::scoped_map`] returns results in task-index
+//! order regardless of which worker ran what, so callers (batch engines,
+//! segment fan-out) produce bit-identical results to their serial forms.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use milvus_obs as obs;
+use parking_lot::{Condvar, Mutex};
+
+/// A queued unit of work. Scoped tasks are transmuted to `'static`; the
+/// scope guarantees they complete before the borrowed frame unwinds.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Process-unique executor ids so a worker thread can tell which pool it
+/// belongs to (nested pools in tests).
+static NEXT_EXEC_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(executor id, worker index)` when the current thread is a pool worker.
+    static CURRENT_WORKER: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
+}
+
+struct Shared {
+    id: u64,
+    /// One lock-based deque per worker — the "per-worker injector queues".
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Round-robin cursor for external submissions.
+    next_queue: AtomicUsize,
+    /// Tasks currently queued (not yet picked up).
+    queued: AtomicUsize,
+    shutdown: AtomicBool,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    // Metric handles, resolved once (recording is a bare atomic op).
+    tasks_total: Arc<obs::Counter>,
+    steals_total: Arc<obs::Counter>,
+    queue_depth: Arc<obs::Gauge>,
+    busy_workers: Arc<obs::Gauge>,
+}
+
+impl Shared {
+    /// Pop a task. Workers pass their own index and prefer their own deque;
+    /// helpers (scope waiters) pass `None` and every pop counts as a steal.
+    fn take_task(&self, own: Option<usize>) -> Option<(Task, bool)> {
+        if self.queued.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        if let Some(idx) = own {
+            if let Some(task) = self.deques[idx].lock().pop_front() {
+                self.note_dequeue();
+                return Some((task, false));
+            }
+        }
+        let n = self.deques.len();
+        let start = own.map_or_else(|| self.next_queue.load(Ordering::Relaxed), |i| i + 1);
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if Some(victim) == own {
+                continue;
+            }
+            // Steal from the back, opposite the owner's pop end.
+            if let Some(task) = self.deques[victim].lock().pop_back() {
+                self.note_dequeue();
+                self.steals_total.inc();
+                return Some((task, true));
+            }
+        }
+        None
+    }
+
+    fn note_dequeue(&self) {
+        self.queued.fetch_sub(1, Ordering::AcqRel);
+        self.queue_depth.add(-1);
+    }
+
+    fn run(&self, task: Task) {
+        self.busy_workers.add(1);
+        self.tasks_total.inc();
+        task();
+        self.busy_workers.add(-1);
+    }
+
+    fn inject(&self, task: Task) {
+        let idx = match CURRENT_WORKER.with(Cell::get) {
+            Some((id, idx)) if id == self.id => idx,
+            _ => self.next_queue.fetch_add(1, Ordering::Relaxed) % self.deques.len(),
+        };
+        self.deques[idx].lock().push_back(task);
+        self.queued.fetch_add(1, Ordering::Release);
+        self.queue_depth.add(1);
+        let _g = self.sleep_lock.lock();
+        self.wake.notify_all();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, idx: usize) {
+    CURRENT_WORKER.with(|w| w.set(Some((shared.id, idx))));
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match shared.take_task(Some(idx)) {
+            Some((task, _stolen)) => shared.run(task),
+            None => {
+                let mut guard = shared.sleep_lock.lock();
+                if shared.queued.load(Ordering::Acquire) == 0
+                    && !shared.shutdown.load(Ordering::Acquire)
+                {
+                    // Timed wait: a lost wakeup only costs one re-scan.
+                    shared.wake.wait_for(&mut guard, Duration::from_millis(10));
+                }
+            }
+        }
+    }
+}
+
+/// A persistent pool of worker threads with work-stealing deques.
+pub struct Executor {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl Executor {
+    /// Spin up a pool of `threads` workers. `name` labels the pool's metric
+    /// series (`pool="<name>"` in `/metrics`).
+    pub fn new(name: &str, threads: usize) -> Executor {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            id: NEXT_EXEC_ID.fetch_add(1, Ordering::Relaxed),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            next_queue: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            tasks_total: obs::counter(obs::EXEC_TASKS, name),
+            steals_total: obs::counter(obs::EXEC_STEALS, name),
+            queue_depth: obs::gauge(obs::EXEC_QUEUE_DEPTH, name),
+            busy_workers: obs::gauge(obs::EXEC_WORKERS_BUSY, name),
+        });
+        obs::gauge(obs::EXEC_WORKERS, name).set(threads as i64);
+        let handles = (0..threads)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("milvus-exec-{name}-{idx}"))
+                    .spawn(move || worker_loop(shared, idx))
+                    .expect("spawn executor worker")
+            })
+            .collect();
+        Executor { shared, handles: Mutex::new(handles), threads }
+    }
+
+    /// The process-global pool every query-path fan-out schedules onto.
+    ///
+    /// Sized at `available_parallelism`, floored at 4 so segment fan-out
+    /// still overlaps storage waits (injected delays, bufferpool misses) on
+    /// small hosts where scans are not compute-bound.
+    pub fn global() -> &'static Executor {
+        static GLOBAL: OnceLock<Executor> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).max(4);
+            Executor::new("global", threads)
+        })
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run a structured-concurrency scope: tasks spawned on it may borrow
+    /// from the caller's stack; the scope blocks (helping to execute queued
+    /// tasks) until all of them finish. The first task panic is re-raised
+    /// here after every sibling completed.
+    pub fn scope<'env, T>(
+        &self,
+        f: impl for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    ) -> T {
+        let state = Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+        });
+        let scope = Scope { exec: self, state: Arc::clone(&state), _env: PhantomData };
+        let out = f(&scope);
+        // Help-while-waiting: drain pool tasks so nested scopes cannot
+        // deadlock and a busy pool still makes progress on our tasks.
+        while state.pending.load(Ordering::Acquire) > 0 {
+            match self.shared.take_task(CURRENT_WORKER.with(Cell::get).and_then(|(id, idx)| {
+                (id == self.shared.id).then_some(idx)
+            })) {
+                Some((task, _)) => self.shared.run(task),
+                None => {
+                    let mut guard = state.done_lock.lock();
+                    if state.pending.load(Ordering::Acquire) > 0 {
+                        state.done.wait_for(&mut guard, Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+        if let Some(payload) = state.panic.lock().take() {
+            resume_unwind(payload);
+        }
+        out
+    }
+
+    /// Fan `f(0) … f(n-1)` out across the pool and return the results in
+    /// index order — deterministic regardless of execution interleaving.
+    /// `n <= 1` runs inline (no queue round-trip).
+    pub fn scoped_map<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![f(0)];
+        }
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        {
+            let base = SendPtr(slots.as_mut_ptr());
+            let f = &f;
+            self.scope(|s| {
+                for i in 0..n {
+                    s.spawn(move || {
+                        let value = f(i);
+                        // Safety: each task writes exactly one distinct slot,
+                        // and the scope joins before `slots` is touched again.
+                        unsafe { *base.slot(i) = Some(value) };
+                    });
+                }
+            });
+        }
+        slots.into_iter().map(|r| r.expect("scoped task completed")).collect()
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.sleep_lock.lock();
+            self.shared.wake.notify_all();
+        }
+        for handle in self.handles.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+/// Handle passed to [`Executor::scope`] closures; `'env` is the enclosing
+/// frame tasks may borrow from.
+pub struct Scope<'scope, 'env: 'scope> {
+    exec: &'scope Executor,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'scope mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Queue a task on the pool. It may borrow anything that outlives the
+    /// scope; panics are captured and re-raised at the scope join.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if state.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _g = state.done_lock.lock();
+                state.done.notify_all();
+            }
+        });
+        // Safety: the scope's join loop guarantees the task runs to
+        // completion before `'env` borrows expire (same contract as
+        // `std::thread::scope`).
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task)
+        };
+        self.exec.shared.inject(task);
+    }
+}
+
+/// Raw-pointer wrapper so disjoint slot writes can cross the `Send` bound.
+/// Accessed only through [`SendPtr::slot`] so closures capture the wrapper
+/// (which is `Send`), not the bare pointer field.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    fn slot(&self, i: usize) -> *mut T {
+        unsafe { self.0.add(i) }
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_returns_results_in_index_order() {
+        let pool = Executor::new("t_order", 4);
+        for round in 0..20 {
+            let out = pool.scoped_map(16, |i| i * 2 + round);
+            let expect: Vec<usize> = (0..16).map(|i| i * 2 + round).collect();
+            assert_eq!(out, expect);
+        }
+    }
+
+    #[test]
+    fn scope_tasks_borrow_stack_data() {
+        let pool = Executor::new("t_borrow", 2);
+        let data = [1u64, 2, 3, 4, 5];
+        let sums = pool.scoped_map(data.len(), |i| data[i] * 10);
+        assert_eq!(sums, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_to_scope_caller() {
+        let pool = Executor::new("t_panic", 2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| {});
+                s.spawn(|| panic!("worker exploded"));
+                s.spawn(|| {});
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "worker exploded");
+        // The pool survives a propagated panic.
+        assert_eq!(pool.scoped_map(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn nested_scopes_complete_even_with_one_worker() {
+        let pool = Executor::new("t_nested", 1);
+        let out = pool.scoped_map(4, |i| {
+            let inner = pool.scoped_map(3, |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![3, 33, 63, 93]);
+    }
+
+    #[test]
+    fn steal_counter_is_monotonic_and_tasks_are_counted() {
+        let pool = Executor::new("t_steal", 4);
+        let tasks0 = obs::counter(obs::EXEC_TASKS, "t_steal").get();
+        let steals0 = obs::counter(obs::EXEC_STEALS, "t_steal").get();
+        let mut last_steals = steals0;
+        for _ in 0..10 {
+            // Nested fan-out seeds one worker's own deque, giving the other
+            // workers something to steal.
+            pool.scoped_map(8, |i| pool.scoped_map(4, move |j| i + j).len());
+            let s = obs::counter(obs::EXEC_STEALS, "t_steal").get();
+            assert!(s >= last_steals, "steal counter went backwards: {s} < {last_steals}");
+            last_steals = s;
+        }
+        let tasks1 = obs::counter(obs::EXEC_TASKS, "t_steal").get();
+        assert!(tasks1 >= tasks0 + 10 * 8, "tasks_total barely moved: {tasks0} -> {tasks1}");
+    }
+
+    #[test]
+    fn queue_depth_returns_to_zero_when_idle() {
+        let pool = Executor::new("t_depth", 2);
+        pool.scoped_map(32, |i| i * i);
+        assert_eq!(obs::gauge(obs::EXEC_QUEUE_DEPTH, "t_depth").get(), 0);
+        assert_eq!(obs::gauge(obs::EXEC_WORKERS, "t_depth").get(), 2);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton_with_at_least_four_workers() {
+        let a = Executor::global() as *const _;
+        let b = Executor::global() as *const _;
+        assert_eq!(a, b);
+        assert!(Executor::global().threads() >= 4);
+    }
+}

@@ -47,6 +47,65 @@ pub unsafe fn inner_product(a: &[f32], b: &[f32]) -> f32 {
     sum
 }
 
+/// Register-tiled L2² (Faiss-style multi-query tiling): one data vector
+/// against four queries per pass, so each 256-bit load of `v` feeds four
+/// FMA chains. Per pair the operation sequence matches [`l2_sq`] exactly,
+/// keeping results bit-identical to the untiled kernel.
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2 and FMA.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn l2_sq_x4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+    let n = v.len();
+    let mut acc = [_mm256_setzero_ps(); 4];
+    let chunks = n / 8;
+    for i in 0..chunks {
+        let vv = _mm256_loadu_ps(v.as_ptr().add(i * 8));
+        for (qj, accj) in q.iter().zip(acc.iter_mut()) {
+            let vq = _mm256_loadu_ps(qj.as_ptr().add(i * 8));
+            let d = _mm256_sub_ps(vq, vv);
+            *accj = _mm256_fmadd_ps(d, d, *accj);
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for ((qj, accj), oj) in q.iter().zip(&acc).zip(out.iter_mut()) {
+        let mut sum = horizontal_sum(*accj);
+        for i in chunks * 8..n {
+            let d = qj[i] - v[i];
+            sum += d * d;
+        }
+        *oj = sum;
+    }
+    out
+}
+
+/// Register-tiled inner product; see [`l2_sq_x4`].
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2 and FMA.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn inner_product_x4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+    let n = v.len();
+    let mut acc = [_mm256_setzero_ps(); 4];
+    let chunks = n / 8;
+    for i in 0..chunks {
+        let vv = _mm256_loadu_ps(v.as_ptr().add(i * 8));
+        for (qj, accj) in q.iter().zip(acc.iter_mut()) {
+            let vq = _mm256_loadu_ps(qj.as_ptr().add(i * 8));
+            *accj = _mm256_fmadd_ps(vq, vv, *accj);
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for ((qj, accj), oj) in q.iter().zip(&acc).zip(out.iter_mut()) {
+        let mut sum = horizontal_sum(*accj);
+        for i in chunks * 8..n {
+            sum += qj[i] * v[i];
+        }
+        *oj = sum;
+    }
+    out
+}
+
 #[inline]
 unsafe fn horizontal_sum(v: __m256) -> f32 {
     let hi = _mm256_extractf128_ps(v, 1);

@@ -27,6 +27,64 @@ pub unsafe fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
     sum
 }
 
+/// Register-tiled L2²: one data vector against four queries per pass, so
+/// each 512-bit load of `v` feeds four FMA chains. Bit-identical per pair
+/// to [`l2_sq`].
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX-512F.
+#[target_feature(enable = "avx512f")]
+pub unsafe fn l2_sq_x4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+    let n = v.len();
+    let mut acc = [_mm512_setzero_ps(); 4];
+    let chunks = n / 16;
+    for i in 0..chunks {
+        let vv = _mm512_loadu_ps(v.as_ptr().add(i * 16));
+        for (qj, accj) in q.iter().zip(acc.iter_mut()) {
+            let vq = _mm512_loadu_ps(qj.as_ptr().add(i * 16));
+            let d = _mm512_sub_ps(vq, vv);
+            *accj = _mm512_fmadd_ps(d, d, *accj);
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for ((qj, accj), oj) in q.iter().zip(&acc).zip(out.iter_mut()) {
+        let mut sum = _mm512_reduce_add_ps(*accj);
+        for i in chunks * 16..n {
+            let d = qj[i] - v[i];
+            sum += d * d;
+        }
+        *oj = sum;
+    }
+    out
+}
+
+/// Register-tiled inner product; see [`l2_sq_x4`].
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX-512F.
+#[target_feature(enable = "avx512f")]
+pub unsafe fn inner_product_x4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+    let n = v.len();
+    let mut acc = [_mm512_setzero_ps(); 4];
+    let chunks = n / 16;
+    for i in 0..chunks {
+        let vv = _mm512_loadu_ps(v.as_ptr().add(i * 16));
+        for (qj, accj) in q.iter().zip(acc.iter_mut()) {
+            let vq = _mm512_loadu_ps(qj.as_ptr().add(i * 16));
+            *accj = _mm512_fmadd_ps(vq, vv, *accj);
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for ((qj, accj), oj) in q.iter().zip(&acc).zip(out.iter_mut()) {
+        let mut sum = _mm512_reduce_add_ps(*accj);
+        for i in chunks * 16..n {
+            sum += qj[i] * v[i];
+        }
+        *oj = sum;
+    }
+    out
+}
+
 /// Inner product using AVX-512F.
 ///
 /// # Safety

@@ -110,6 +110,143 @@ pub fn ip_with_level(a: &[f32], b: &[f32], level: SimdLevel) -> f32 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Hoisted-dispatch kernels (§3.2.2 refactor, second step): the batch engines
+// resolve the metric match *and* the SIMD-level dispatch to a bare function
+// pointer once per query block, instead of re-deciding both per vector pair.
+// ---------------------------------------------------------------------------
+
+/// A resolved per-pair kernel returning the *internal* distance
+/// (smaller = better; similarities negated) — what [`distance`] computes,
+/// with the metric and ISA dispatch already peeled off.
+pub type PairKernel = fn(&[f32], &[f32]) -> f32;
+
+/// A register-tiled kernel scoring one data vector against four resident
+/// queries per pass, returning internal distances. Bit-identical per pair
+/// to the [`PairKernel`] of the same metric.
+pub type Tile4Kernel = fn([&[f32]; 4], &[f32]) -> [f32; 4];
+
+fn l2_scalar_pair(a: &[f32], b: &[f32]) -> f32 {
+    scalar::l2_sq(a, b)
+}
+fn ip_scalar_pair(a: &[f32], b: &[f32]) -> f32 {
+    -scalar::inner_product(a, b)
+}
+fn cosine_pair(a: &[f32], b: &[f32]) -> f32 {
+    -cosine(a, b)
+}
+fn l2_scalar_tile4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+    scalar::l2_sq_x4(q, v)
+}
+fn ip_scalar_tile4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+    let s = scalar::inner_product_x4(q, v);
+    [-s[0], -s[1], -s[2], -s[3]]
+}
+
+// Safety of every shim below: `pair_kernel`/`tile4_kernel` only hand one out
+// when [`active_level`] reports the matching ISA, and `force_level` refuses
+// unsupported levels, so the target-feature preconditions always hold.
+#[cfg(target_arch = "x86_64")]
+mod x86_shims {
+    use super::{avx2, avx512, sse};
+
+    pub fn l2_sse_pair(a: &[f32], b: &[f32]) -> f32 {
+        unsafe { sse::l2_sq(a, b) }
+    }
+    pub fn ip_sse_pair(a: &[f32], b: &[f32]) -> f32 {
+        -unsafe { sse::inner_product(a, b) }
+    }
+    pub fn l2_avx2_pair(a: &[f32], b: &[f32]) -> f32 {
+        unsafe { avx2::l2_sq(a, b) }
+    }
+    pub fn ip_avx2_pair(a: &[f32], b: &[f32]) -> f32 {
+        -unsafe { avx2::inner_product(a, b) }
+    }
+    pub fn l2_avx512_pair(a: &[f32], b: &[f32]) -> f32 {
+        unsafe { avx512::l2_sq(a, b) }
+    }
+    pub fn ip_avx512_pair(a: &[f32], b: &[f32]) -> f32 {
+        -unsafe { avx512::inner_product(a, b) }
+    }
+    pub fn l2_avx2_tile4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+        unsafe { avx2::l2_sq_x4(q, v) }
+    }
+    pub fn ip_avx2_tile4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+        let s = unsafe { avx2::inner_product_x4(q, v) };
+        [-s[0], -s[1], -s[2], -s[3]]
+    }
+    pub fn l2_avx512_tile4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+        unsafe { avx512::l2_sq_x4(q, v) }
+    }
+    pub fn ip_avx512_tile4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+        let s = unsafe { avx512::inner_product_x4(q, v) };
+        [-s[0], -s[1], -s[2], -s[3]]
+    }
+}
+
+/// Resolve the internal-distance kernel for `metric` at the active SIMD
+/// level. Call once per block; the returned pointer is branch-free on the
+/// metric and ISA. Values are bit-identical to [`distance`].
+///
+/// # Panics
+/// Panics for binary metrics, like [`distance`].
+pub fn pair_kernel(metric: Metric) -> PairKernel {
+    let level = active_level();
+    match metric {
+        Metric::L2 => match level {
+            SimdLevel::Scalar => l2_scalar_pair,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse => x86_shims::l2_sse_pair,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => x86_shims::l2_avx2_pair,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 => x86_shims::l2_avx512_pair,
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => l2_scalar_pair,
+        },
+        Metric::InnerProduct => match level {
+            SimdLevel::Scalar => ip_scalar_pair,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse => x86_shims::ip_sse_pair,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => x86_shims::ip_avx2_pair,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 => x86_shims::ip_avx512_pair,
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => ip_scalar_pair,
+        },
+        Metric::Cosine => cosine_pair,
+        m => panic!("binary metric {m} passed to pair_kernel()"),
+    }
+}
+
+/// Resolve the register-tiled 4-query kernel for `metric` at the active
+/// SIMD level, if one exists. `None` (SSE level, cosine, binary metrics)
+/// means the caller should fall back to [`pair_kernel`] per pair — results
+/// are bit-identical either way.
+pub fn tile4_kernel(metric: Metric) -> Option<Tile4Kernel> {
+    let level = active_level();
+    match metric {
+        Metric::L2 => match level {
+            SimdLevel::Scalar => Some(l2_scalar_tile4),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => Some(x86_shims::l2_avx2_tile4),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 => Some(x86_shims::l2_avx512_tile4),
+            _ => None,
+        },
+        Metric::InnerProduct => match level {
+            SimdLevel::Scalar => Some(ip_scalar_tile4),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => Some(x86_shims::ip_avx2_tile4),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 => Some(x86_shims::ip_avx512_tile4),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
 /// Distances from one query to every row of a contiguous `dim`-strided matrix,
 /// written into `out` (one entry per row). The hot loop of every scan path.
 pub fn distances_into(metric: Metric, query: &[f32], data: &[f32], dim: usize, out: &mut [f32]) {
@@ -209,6 +346,77 @@ mod tests {
         let b = vec![3.0, 4.0];
         assert!(approx(distance(Metric::InnerProduct, &a, &b), -11.0));
         assert!(approx(distance(Metric::L2, &a, &b), 8.0));
+    }
+
+    #[test]
+    fn hoisted_pair_kernel_is_bit_identical_to_distance() {
+        for metric in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+            let kern = pair_kernel(metric);
+            for dim in [1, 7, 16, 33, 64, 128] {
+                let (a, b) = test_vectors(dim);
+                assert_eq!(
+                    kern(&a, &b).to_bits(),
+                    distance(metric, &a, &b).to_bits(),
+                    "pair kernel diverged for {metric} dim={dim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_kernel_is_bit_identical_to_pair_kernel() {
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            let Some(tile) = tile4_kernel(metric) else { continue };
+            let pair = pair_kernel(metric);
+            for dim in [1, 7, 16, 33, 64, 100, 128] {
+                let (v, _) = test_vectors(dim);
+                let qs: Vec<Vec<f32>> = (0..4)
+                    .map(|j| (0..dim).map(|i| ((i * 3 + j * 17) as f32 * 0.07).sin()).collect())
+                    .collect();
+                let q = [&qs[0][..], &qs[1][..], &qs[2][..], &qs[3][..]];
+                let tiled = tile(q, &v);
+                for j in 0..4 {
+                    assert_eq!(
+                        tiled[j].to_bits(),
+                        pair(q[j], &v).to_bits(),
+                        "tile4 diverged for {metric} dim={dim} q={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn avx_tiled_kernels_match_their_untiled_forms_when_supported() {
+        // Direct per-level checks, independent of the global active level.
+        let dimensions = [8, 15, 16, 17, 32, 64, 96, 133];
+        #[cfg(target_arch = "x86_64")]
+        for dim in dimensions {
+            let (v, _) = test_vectors(dim);
+            let qs: Vec<Vec<f32>> = (0..4)
+                .map(|j| (0..dim).map(|i| ((i + j * 13) as f32 * 0.19).cos()).collect())
+                .collect();
+            let q = [&qs[0][..], &qs[1][..], &qs[2][..], &qs[3][..]];
+            if SimdLevel::Avx2.supported() {
+                let l2 = unsafe { avx2::l2_sq_x4(q, &v) };
+                let ip = unsafe { avx2::inner_product_x4(q, &v) };
+                for j in 0..4 {
+                    assert_eq!(l2[j].to_bits(), unsafe { avx2::l2_sq(q[j], &v) }.to_bits());
+                    assert_eq!(
+                        ip[j].to_bits(),
+                        unsafe { avx2::inner_product(q[j], &v) }.to_bits()
+                    );
+                }
+            }
+            if SimdLevel::Avx512.supported() {
+                let l2 = unsafe { avx512::l2_sq_x4(q, &v) };
+                for j in 0..4 {
+                    assert_eq!(l2[j].to_bits(), unsafe { avx512::l2_sq(q[j], &v) }.to_bits());
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = dimensions;
     }
 
     #[test]

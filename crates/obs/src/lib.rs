@@ -500,6 +500,17 @@ pub const POOL_EVICTIONS: &str = "milvus_bufferpool_evictions_total";
 /// Bytes currently resident in the bufferpool (per pool, and per
 /// pool+segment).
 pub const POOL_RESIDENT_BYTES: &str = "milvus_bufferpool_resident_bytes";
+/// Tasks executed by a work-stealing executor (per pool).
+pub const EXEC_TASKS: &str = "milvus_exec_tasks_total";
+/// Tasks a thread took from a deque it does not own (per pool).
+pub const EXEC_STEALS: &str = "milvus_exec_steals_total";
+/// Tasks currently queued across an executor's deques (per pool).
+pub const EXEC_QUEUE_DEPTH: &str = "milvus_exec_queue_depth";
+/// Workers currently executing a task (per pool); utilization is
+/// `workers_busy / workers`.
+pub const EXEC_WORKERS_BUSY: &str = "milvus_exec_workers_busy";
+/// Worker threads in the pool (per pool).
+pub const EXEC_WORKERS: &str = "milvus_exec_workers";
 
 // ---------------------------------------------------------------------------
 // Declared metric families: name, type and HELP text. The Prometheus render
@@ -545,6 +556,11 @@ pub const FAMILIES: &[FamilyDesc] = &[
     FamilyDesc { name: COMPACTION_LATENCY, kind: MetricKind::Histogram, help: "Segment compaction latency." },
     FamilyDesc { name: COMPACTIONS, kind: MetricKind::Counter, help: "Segment merges (compactions) completed." },
     FamilyDesc { name: DELETE_ROWS, kind: MetricKind::Counter, help: "Entities deleted." },
+    FamilyDesc { name: EXEC_QUEUE_DEPTH, kind: MetricKind::Gauge, help: "Tasks currently queued across an executor's deques." },
+    FamilyDesc { name: EXEC_STEALS, kind: MetricKind::Counter, help: "Tasks a thread took from an executor deque it does not own." },
+    FamilyDesc { name: EXEC_TASKS, kind: MetricKind::Counter, help: "Tasks executed by a work-stealing executor." },
+    FamilyDesc { name: EXEC_WORKERS, kind: MetricKind::Gauge, help: "Worker threads in an executor pool." },
+    FamilyDesc { name: EXEC_WORKERS_BUSY, kind: MetricKind::Gauge, help: "Executor workers currently executing a task." },
     FamilyDesc { name: FLUSH_LATENCY, kind: MetricKind::Histogram, help: "flush() barrier latency." },
     FamilyDesc { name: INDEX_BUILD_LATENCY, kind: MetricKind::Histogram, help: "Index build latency." },
     FamilyDesc { name: INDEX_BUILDS, kind: MetricKind::Counter, help: "Index builds completed." },

@@ -340,6 +340,34 @@ impl Trace {
         spans_counter().inc();
     }
 
+    /// Record a span from an explicit `[start, end]` wall-clock window —
+    /// used when the measured work ran on an executor worker and the span
+    /// is recorded after the structured join, on the admitting thread.
+    /// Windows that began before the trace clamp to the trace start.
+    pub fn record_window(
+        &mut self,
+        kind: SpanKind,
+        start: Instant,
+        end: Instant,
+        fill: impl FnOnce(&mut Span),
+    ) {
+        let Some(inner) = self.inner.as_deref_mut() else { return };
+        if inner.len == MAX_SPANS {
+            inner.dropped += 1;
+            return;
+        }
+        let span = &mut inner.spans[inner.len];
+        *span = Span {
+            kind,
+            start_us: start.saturating_duration_since(inner.start).as_micros() as u64,
+            dur_us: end.saturating_duration_since(start).as_micros() as u64,
+            ..Span::default()
+        };
+        fill(span);
+        inner.len += 1;
+        spans_counter().inc();
+    }
+
     /// Spans recorded so far (0 for disabled traces).
     pub fn span_count(&self) -> usize {
         self.inner.as_ref().map_or(0, |i| i.len)

@@ -87,7 +87,8 @@ fn main() {
         request(addr, "POST", "/collections/smoke/search", r#"{"vector":[0.9,0.1,0.0,0.0],"k":2}"#),
     );
 
-    // --- GET /metrics: must be 200 and carry the bufferpool + tracing families.
+    // --- GET /metrics: must be 200 and carry the bufferpool + tracing +
+    // executor families.
     let metrics = expect_ok("GET /metrics", request(addr, "GET", "/metrics", ""));
     for family in [
         "milvus_bufferpool_hits_total",
@@ -96,6 +97,11 @@ fn main() {
         "milvus_bufferpool_resident_bytes",
         "milvus_slow_queries_total",
         "milvus_traces_sampled_total",
+        "milvus_exec_queue_depth",
+        "milvus_exec_steals_total",
+        "milvus_exec_tasks_total",
+        "milvus_exec_workers",
+        "milvus_exec_workers_busy",
     ] {
         check(
             &format!("/metrics declares {family}"),
