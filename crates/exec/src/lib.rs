@@ -17,12 +17,15 @@
 //!   (locality, like crossbeam's `Worker`/`Injector` split).
 //! * **Work stealing.** An idle worker first drains its own deque (FIFO),
 //!   then steals from its peers' back ends. A thread blocked in
-//!   [`Executor::scope`] also steals — callers help execute while they
-//!   wait, which makes nested scopes deadlock-free even on one core.
+//!   [`Executor::scope`] also steals — but only tasks belonging to its own
+//!   scope, so callers help execute while they wait (nested scopes are
+//!   deadlock-free even on one core) without an unrelated long task
+//!   delaying their join.
 //! * **Structured joins.** [`Executor::scope`] mirrors `std::thread::scope`:
 //!   tasks may borrow from the enclosing stack frame, the scope does not
-//!   return until every spawned task finished, and a worker panic is
-//!   propagated to the scope caller (first panic wins).
+//!   return until every spawned task finished — even when the scope closure
+//!   itself panics — and panics are re-raised at the join (closure panic
+//!   first, then the first task panic).
 //! * **Observability.** The pool exports `milvus_exec_tasks_total`,
 //!   `milvus_exec_steals_total`, `milvus_exec_queue_depth` and
 //!   busy/size worker gauges through `milvus-obs`, labeled by pool name.
@@ -47,6 +50,17 @@ use parking_lot::{Condvar, Mutex};
 /// scope guarantees they complete before the borrowed frame unwinds.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// A deque entry: the task plus the identity of the scope that spawned it.
+/// Workers run anything; a thread blocked in [`Executor::scope`] only helps
+/// with its *own* scope's tasks, so an unrelated long-running task can never
+/// delay a join and helper threads never skew the busy-worker gauge.
+struct QueuedTask {
+    /// Address of the owning [`ScopeState`] — unique while any of the
+    /// scope's tasks exist, because the scope drains them before returning.
+    tag: usize,
+    task: Task,
+}
+
 /// Process-unique executor ids so a worker thread can tell which pool it
 /// belongs to (nested pools in tests).
 static NEXT_EXEC_ID: AtomicU64 = AtomicU64::new(1);
@@ -59,11 +73,14 @@ thread_local! {
 struct Shared {
     id: u64,
     /// One lock-based deque per worker — the "per-worker injector queues".
-    deques: Vec<Mutex<VecDeque<Task>>>,
+    deques: Vec<Mutex<VecDeque<QueuedTask>>>,
     /// Round-robin cursor for external submissions.
     next_queue: AtomicUsize,
     /// Tasks currently queued (not yet picked up).
     queued: AtomicUsize,
+    /// Workers currently blocked on `wake` — lets `inject` skip the
+    /// lock+notify entirely while the pool is busy.
+    sleepers: AtomicUsize,
     shutdown: AtomicBool,
     sleep_lock: Mutex<()>,
     wake: Condvar,
@@ -74,15 +91,40 @@ struct Shared {
     busy_workers: Arc<obs::Gauge>,
 }
 
+/// Remove the owner-side (front) task, or with a `filter` the frontmost task
+/// whose tag matches.
+fn pop_matching_front(dq: &mut VecDeque<QueuedTask>, filter: Option<usize>) -> Option<Task> {
+    match filter {
+        None => dq.pop_front().map(|qt| qt.task),
+        Some(tag) => {
+            let i = dq.iter().position(|qt| qt.tag == tag)?;
+            dq.remove(i).map(|qt| qt.task)
+        }
+    }
+}
+
+/// Remove the steal-side (back) task, or with a `filter` the backmost task
+/// whose tag matches.
+fn pop_matching_back(dq: &mut VecDeque<QueuedTask>, filter: Option<usize>) -> Option<Task> {
+    match filter {
+        None => dq.pop_back().map(|qt| qt.task),
+        Some(tag) => {
+            let i = dq.iter().rposition(|qt| qt.tag == tag)?;
+            dq.remove(i).map(|qt| qt.task)
+        }
+    }
+}
+
 impl Shared {
     /// Pop a task. Workers pass their own index and prefer their own deque;
-    /// helpers (scope waiters) pass `None` and every pop counts as a steal.
-    fn take_task(&self, own: Option<usize>) -> Option<(Task, bool)> {
+    /// scope waiters additionally pass `filter = Some(scope tag)` so they
+    /// only ever execute tasks belonging to their own scope.
+    fn take_task(&self, own: Option<usize>, filter: Option<usize>) -> Option<(Task, bool)> {
         if self.queued.load(Ordering::Acquire) == 0 {
             return None;
         }
         if let Some(idx) = own {
-            if let Some(task) = self.deques[idx].lock().pop_front() {
+            if let Some(task) = pop_matching_front(&mut self.deques[idx].lock(), filter) {
                 self.note_dequeue();
                 return Some((task, false));
             }
@@ -95,7 +137,7 @@ impl Shared {
                 continue;
             }
             // Steal from the back, opposite the owner's pop end.
-            if let Some(task) = self.deques[victim].lock().pop_back() {
+            if let Some(task) = pop_matching_back(&mut self.deques[victim].lock(), filter) {
                 self.note_dequeue();
                 self.steals_total.inc();
                 return Some((task, true));
@@ -109,23 +151,48 @@ impl Shared {
         self.queue_depth.add(-1);
     }
 
+    /// Execute a task on a pool worker. The busy gauge is restored by a drop
+    /// guard and the panic contained, so a panicking task can neither leak
+    /// the gauge nor unwind through `worker_loop` and shrink the pool.
+    /// (Scoped tasks capture their panics internally; a panic reaching here
+    /// could only come from a future direct-inject path.)
     fn run(&self, task: Task) {
-        self.busy_workers.add(1);
+        struct BusyGuard<'a>(&'a obs::Gauge);
+        impl Drop for BusyGuard<'_> {
+            fn drop(&mut self) {
+                self.0.add(-1);
+            }
+        }
         self.tasks_total.inc();
-        task();
-        self.busy_workers.add(-1);
+        self.busy_workers.add(1);
+        let _busy = BusyGuard(&self.busy_workers);
+        let _ = catch_unwind(AssertUnwindSafe(task));
     }
 
-    fn inject(&self, task: Task) {
+    /// Execute a task on a scope-waiter thread: counted in `tasks_total` but
+    /// not in `busy_workers` — helpers are not workers, and nested helping on
+    /// a worker would double-count it. Panics propagate to the caller (the
+    /// scope drain loop), which records them in the scope's panic slot.
+    fn run_helper(&self, task: Task) {
+        self.tasks_total.inc();
+        task();
+    }
+
+    fn inject(&self, tag: usize, task: Task) {
         let idx = match CURRENT_WORKER.with(Cell::get) {
             Some((id, idx)) if id == self.id => idx,
             _ => self.next_queue.fetch_add(1, Ordering::Relaxed) % self.deques.len(),
         };
-        self.deques[idx].lock().push_back(task);
-        self.queued.fetch_add(1, Ordering::Release);
+        self.deques[idx].lock().push_back(QueuedTask { tag, task });
+        // SeqCst pairs with the sleeper protocol in `worker_loop`: either the
+        // worker's queued-recheck sees this increment, or our sleepers-load
+        // below sees the worker's registration and we notify.
+        self.queued.fetch_add(1, Ordering::SeqCst);
         self.queue_depth.add(1);
-        let _g = self.sleep_lock.lock();
-        self.wake.notify_all();
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.sleep_lock.lock();
+            self.wake.notify_all();
+        }
     }
 }
 
@@ -135,16 +202,23 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        match shared.take_task(Some(idx)) {
+        match shared.take_task(Some(idx), None) {
             Some((task, _stolen)) => shared.run(task),
             None => {
                 let mut guard = shared.sleep_lock.lock();
-                if shared.queued.load(Ordering::Acquire) == 0
+                // Sleeper protocol: register under the lock, then re-check
+                // for work. An injector either sees `queued` already bumped
+                // (worker skips the wait) or sees `sleepers > 0` and
+                // notifies under the same lock — no lost wakeup. The long
+                // timeout is only a defensive fallback, so an idle pool is
+                // event-driven instead of polling.
+                shared.sleepers.fetch_add(1, Ordering::SeqCst);
+                if shared.queued.load(Ordering::SeqCst) == 0
                     && !shared.shutdown.load(Ordering::Acquire)
                 {
-                    // Timed wait: a lost wakeup only costs one re-scan.
-                    shared.wake.wait_for(&mut guard, Duration::from_millis(10));
+                    shared.wake.wait_for(&mut guard, Duration::from_millis(500));
                 }
+                shared.sleepers.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }
@@ -167,6 +241,7 @@ impl Executor {
             deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             next_queue: AtomicUsize::new(0),
             queued: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             sleep_lock: Mutex::new(()),
             wake: Condvar::new(),
@@ -207,9 +282,10 @@ impl Executor {
     }
 
     /// Run a structured-concurrency scope: tasks spawned on it may borrow
-    /// from the caller's stack; the scope blocks (helping to execute queued
-    /// tasks) until all of them finish. The first task panic is re-raised
-    /// here after every sibling completed.
+    /// from the caller's stack; the scope blocks (helping to execute its own
+    /// queued tasks) until all of them finish. A panic in the closure or in
+    /// any task is re-raised here only after every task completed — the
+    /// closure's panic takes precedence, then the first task panic.
     pub fn scope<'env, T>(
         &self,
         f: impl for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
@@ -220,27 +296,58 @@ impl Executor {
             done_lock: Mutex::new(()),
             done: Condvar::new(),
         });
-        let scope = Scope { exec: self, state: Arc::clone(&state), _env: PhantomData };
-        let out = f(&scope);
-        // Help-while-waiting: drain pool tasks so nested scopes cannot
-        // deadlock and a busy pool still makes progress on our tasks.
+        let tag = Arc::as_ptr(&state) as usize;
+        let scope = Scope { exec: self, state: Arc::clone(&state), tag, _env: PhantomData };
+        // The closure runs under catch_unwind because the drain loop below
+        // MUST execute even if it panics: already-queued tasks borrow this
+        // stack frame, and unwinding past it while they can still run on a
+        // worker would be a use-after-free (std::thread::scope joins in a
+        // drop guard for the same reason).
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Help-while-waiting: drain *this scope's* tasks so nested scopes
+        // cannot deadlock and a busy pool still makes progress on our tasks.
+        // Restricting helpers to their own tag keeps the busy gauge honest
+        // and stops an unrelated long task from delaying this join.
+        let own = CURRENT_WORKER
+            .with(Cell::get)
+            .and_then(|(id, idx)| (id == self.shared.id).then_some(idx));
         while state.pending.load(Ordering::Acquire) > 0 {
-            match self.shared.take_task(CURRENT_WORKER.with(Cell::get).and_then(|(id, idx)| {
-                (id == self.shared.id).then_some(idx)
-            })) {
-                Some((task, _)) => self.shared.run(task),
+            match self.shared.take_task(own, Some(tag)) {
+                Some((task, _)) => {
+                    // Scoped tasks contain their own panics; this guard is
+                    // defense in depth so the drain loop itself can't unwind
+                    // past the borrowed frame early.
+                    if let Err(payload) =
+                        catch_unwind(AssertUnwindSafe(|| self.shared.run_helper(task)))
+                    {
+                        let mut slot = state.panic.lock();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
+                }
                 None => {
                     let mut guard = state.done_lock.lock();
                     if state.pending.load(Ordering::Acquire) > 0 {
-                        state.done.wait_for(&mut guard, Duration::from_millis(1));
+                        // Event-driven: task completion notifies `done`. The
+                        // timeout is a liveness fallback for the rare case
+                        // where a sibling task spawns onto this scope right
+                        // after our queue scan.
+                        state.done.wait_for(&mut guard, Duration::from_millis(25));
                     }
                 }
             }
         }
-        if let Some(payload) = state.panic.lock().take() {
-            resume_unwind(payload);
+        let task_panic = state.panic.lock().take();
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(out) => {
+                if let Some(payload) = task_panic {
+                    resume_unwind(payload);
+                }
+                out
+            }
         }
-        out
     }
 
     /// Fan `f(0) … f(n-1)` out across the pool and return the results in
@@ -301,6 +408,8 @@ struct ScopeState {
 pub struct Scope<'scope, 'env: 'scope> {
     exec: &'scope Executor,
     state: Arc<ScopeState>,
+    /// Scope identity stamped on every spawned task (see [`QueuedTask`]).
+    tag: usize,
     _env: PhantomData<&'scope mut &'env ()>,
 }
 
@@ -331,7 +440,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         let task: Task = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task)
         };
-        self.exec.shared.inject(task);
+        self.exec.shared.inject(self.tag, task);
     }
 }
 
@@ -395,6 +504,41 @@ mod tests {
     }
 
     #[test]
+    fn closure_panic_still_joins_spawned_tasks() {
+        // Regression: if the scope closure panics after spawning, the drain
+        // loop must still run every queued task (they borrow this frame)
+        // before the panic is re-raised.
+        let pool = Executor::new("t_unwind", 2);
+        let ran = std::sync::atomic::AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        std::thread::sleep(Duration::from_millis(1));
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                panic!("closure exploded");
+            });
+        }));
+        let payload = result.expect_err("closure panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "closure exploded");
+        assert_eq!(ran.load(Ordering::SeqCst), 8, "all tasks must finish before unwind");
+        // Closure panic wins over a task panic raised in the same scope.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task exploded"));
+                panic!("closure exploded");
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "closure exploded");
+        assert_eq!(pool.scoped_map(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
     fn nested_scopes_complete_even_with_one_worker() {
         let pool = Executor::new("t_nested", 1);
         let out = pool.scoped_map(4, |i| {
@@ -428,6 +572,32 @@ mod tests {
         pool.scoped_map(32, |i| i * i);
         assert_eq!(obs::gauge(obs::EXEC_QUEUE_DEPTH, "t_depth").get(), 0);
         assert_eq!(obs::gauge(obs::EXEC_WORKERS, "t_depth").get(), 2);
+        // Helpers don't touch the busy gauge and workers restore it via a
+        // drop guard, so it must settle back to zero (never negative, never
+        // leaked above the worker count).
+        assert_eq!(obs::gauge(obs::EXEC_WORKERS_BUSY, "t_depth").get(), 0);
+    }
+
+    #[test]
+    fn busy_gauge_stays_bounded_by_worker_count_under_nested_help() {
+        let pool = Executor::new("t_busy", 2);
+        let gauge = obs::gauge(obs::EXEC_WORKERS_BUSY, "t_busy");
+        let max_seen = std::sync::atomic::AtomicI64::new(0);
+        // Nested scoped_map makes workers help from inside tasks; the outer
+        // caller helps from a non-worker thread. Neither may overcount.
+        pool.scoped_map(8, |i| {
+            pool.scoped_map(4, |j| {
+                max_seen.fetch_max(gauge.get(), Ordering::SeqCst);
+                i + j
+            })
+            .len()
+        });
+        assert!(
+            max_seen.load(Ordering::SeqCst) <= 2,
+            "busy gauge exceeded worker count: {}",
+            max_seen.load(Ordering::SeqCst)
+        );
+        assert_eq!(gauge.get(), 0);
     }
 
     #[test]

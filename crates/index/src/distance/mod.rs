@@ -150,35 +150,64 @@ fn ip_scalar_tile4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
 mod x86_shims {
     use super::{avx2, avx512, sse};
 
+    /// The unchecked SIMD kernels read `a.len()` floats from both slices; a
+    /// shorter `b` would be an out-of-bounds read from safe code (the scalar
+    /// fallback panics instead). Debug-assert the length precondition the
+    /// safe `PairKernel` signature cannot express.
+    #[inline(always)]
+    fn check_pair(a: &[f32], b: &[f32]) {
+        debug_assert_eq!(a.len(), b.len(), "pair kernel: slice length mismatch");
+    }
+
+    /// Same precondition for the tiled kernels: every resident query must be
+    /// at least as long as the data vector driving the loads.
+    #[inline(always)]
+    fn check_tile4(q: &[&[f32]; 4], v: &[f32]) {
+        debug_assert!(
+            q.iter().all(|qj| qj.len() == v.len()),
+            "tile4 kernel: query/vector length mismatch"
+        );
+    }
+
     pub fn l2_sse_pair(a: &[f32], b: &[f32]) -> f32 {
+        check_pair(a, b);
         unsafe { sse::l2_sq(a, b) }
     }
     pub fn ip_sse_pair(a: &[f32], b: &[f32]) -> f32 {
+        check_pair(a, b);
         -unsafe { sse::inner_product(a, b) }
     }
     pub fn l2_avx2_pair(a: &[f32], b: &[f32]) -> f32 {
+        check_pair(a, b);
         unsafe { avx2::l2_sq(a, b) }
     }
     pub fn ip_avx2_pair(a: &[f32], b: &[f32]) -> f32 {
+        check_pair(a, b);
         -unsafe { avx2::inner_product(a, b) }
     }
     pub fn l2_avx512_pair(a: &[f32], b: &[f32]) -> f32 {
+        check_pair(a, b);
         unsafe { avx512::l2_sq(a, b) }
     }
     pub fn ip_avx512_pair(a: &[f32], b: &[f32]) -> f32 {
+        check_pair(a, b);
         -unsafe { avx512::inner_product(a, b) }
     }
     pub fn l2_avx2_tile4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+        check_tile4(&q, v);
         unsafe { avx2::l2_sq_x4(q, v) }
     }
     pub fn ip_avx2_tile4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+        check_tile4(&q, v);
         let s = unsafe { avx2::inner_product_x4(q, v) };
         [-s[0], -s[1], -s[2], -s[3]]
     }
     pub fn l2_avx512_tile4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+        check_tile4(&q, v);
         unsafe { avx512::l2_sq_x4(q, v) }
     }
     pub fn ip_avx512_tile4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
+        check_tile4(&q, v);
         let s = unsafe { avx512::inner_product_x4(q, v) };
         [-s[0], -s[1], -s[2], -s[3]]
     }
