@@ -8,13 +8,39 @@ use std::time::Duration;
 
 use milvus_index::traits::SearchParams;
 use milvus_index::{Neighbor, VectorSet};
+use milvus_obs as obs;
 use milvus_storage::object_store::ObjectStore;
 use milvus_storage::{InsertBatch, LsmConfig, Result as StorageResult, Schema};
 use parking_lot::RwLock;
 
 use crate::coordinator::Coordinator;
 use crate::reader::ReaderNode;
+use crate::transport::{rpc, Direct, NodeId, RetryPolicy, Transport};
 use crate::writer::WriterNode;
+
+/// Outcome of a distributed search, including its fault-tolerance story:
+/// which readers were unreachable, which of their shards were re-fanned to
+/// survivors, and which shards (if any) ended up with no coverage at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    /// Merged top-k across every covered shard.
+    pub neighbors: Vec<Neighbor>,
+    /// Readers that did not answer (after retries).
+    pub failed_readers: Vec<u64>,
+    /// Shards recovered by re-fanning to surviving readers.
+    pub failover_shards: Vec<usize>,
+    /// Shards with no coverage: the results are degraded. Empty for a
+    /// complete (exact) answer.
+    pub uncovered_shards: Vec<usize>,
+}
+
+impl SearchReport {
+    /// True when every shard contributed — the answer equals the fault-free
+    /// reference.
+    pub fn is_complete(&self) -> bool {
+        self.uncovered_shards.is_empty()
+    }
+}
 
 /// A whole cluster in-process.
 pub struct Cluster {
@@ -24,16 +50,32 @@ pub struct Cluster {
     writer: WriterNode,
     readers: RwLock<Vec<Arc<ReaderNode>>>,
     reader_cache_bytes: usize,
+    transport: Arc<dyn Transport>,
+    retry: RwLock<RetryPolicy>,
 }
 
 impl Cluster {
-    /// Spin up a cluster with `shards` data shards and `readers` readers.
+    /// Spin up a cluster with `shards` data shards and `readers` readers
+    /// over the zero-cost direct transport.
     pub fn new(
         schema: Schema,
         shards: usize,
         readers: usize,
         shared: Arc<dyn ObjectStore>,
         config: LsmConfig,
+    ) -> StorageResult<Self> {
+        Self::with_transport(schema, shards, readers, shared, config, Arc::new(Direct))
+    }
+
+    /// Spin up a cluster whose every node interaction routes through
+    /// `transport` (pass a [`crate::transport::SimNet`] to inject faults).
+    pub fn with_transport(
+        schema: Schema,
+        shards: usize,
+        readers: usize,
+        shared: Arc<dyn ObjectStore>,
+        config: LsmConfig,
+        transport: Arc<dyn Transport>,
     ) -> StorageResult<Self> {
         let coordinator = Coordinator::new(shards);
         let writer = WriterNode::new(
@@ -49,11 +91,27 @@ impl Cluster {
             writer,
             readers: RwLock::new(Vec::new()),
             reader_cache_bytes: 256 << 20,
+            transport,
+            retry: RwLock::new(RetryPolicy::default()),
         };
         for _ in 0..readers {
             cluster.add_reader()?;
         }
         Ok(cluster)
+    }
+
+    /// The transport this cluster routes node interactions through.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Replace the RPC timeout/backoff policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.write() = policy;
+    }
+
+    fn retry(&self) -> RetryPolicy {
+        self.retry.read().clone()
     }
 
     /// The coordinator (metadata inspection).
@@ -80,13 +138,15 @@ impl Cluster {
     /// shards from shared storage, and existing readers drop/keep shards per
     /// the updated ring.
     pub fn add_reader(&self) -> StorageResult<Arc<ReaderNode>> {
-        let reader = ReaderNode::register(
+        let reader = ReaderNode::register_with_transport(
             self.schema.clone(),
             Arc::clone(&self.coordinator),
             Arc::clone(&self.shared),
             self.reader_cache_bytes,
+            Arc::clone(&self.transport),
         );
         self.readers.write().push(Arc::clone(&reader));
+        self.coordinator.bump_epoch();
         self.refresh_readers()?;
         Ok(reader)
     }
@@ -97,54 +157,169 @@ impl Cluster {
         let existed = self.coordinator.deregister_reader(id);
         self.readers.write().retain(|r| r.id != id);
         if existed {
-            // Survivors take over the orphaned shards.
+            // Survivors take over the orphaned shards; any that are
+            // unreachable right now catch up lazily at their next query.
+            self.coordinator.bump_epoch();
             let _ = self.refresh_readers();
         }
         existed
     }
 
     /// Insert entities (goes to the writer; §5.3 read/write separation).
+    /// Not idempotent: a lost acknowledgment surfaces as
+    /// [`milvus_storage::StorageError::Unavailable`] rather than risking a
+    /// duplicate insert on retry.
     pub fn insert(&self, batch: InsertBatch) -> StorageResult<()> {
-        self.writer.insert(batch)
+        let retry = self.retry();
+        rpc(&*self.transport, NodeId::Client, NodeId::Writer, "insert", &retry, false, || {
+            self.writer.insert(batch.clone())
+        })
     }
 
     /// Convenience: single-vector insert.
     pub fn insert_vectors(&self, ids: Vec<i64>, vectors: VectorSet) -> StorageResult<()> {
-        self.writer.insert_vectors(ids, vectors)
+        self.insert(InsertBatch::single(ids, vectors))
     }
 
-    /// Delete entities.
+    /// Delete entities (idempotent: tombstoning twice is harmless).
     pub fn delete(&self, ids: &[i64]) -> StorageResult<()> {
-        self.writer.delete(ids)
+        let retry = self.retry();
+        rpc(&*self.transport, NodeId::Client, NodeId::Writer, "delete", &retry, true, || {
+            self.writer.delete(ids)
+        })
     }
 
     /// Flush the writer and propagate the new segment versions to readers.
+    /// Readers unreachable during the propagation are left stale and catch
+    /// up lazily before their next query (or on [`Cluster::resync`]).
     pub fn flush(&self) -> StorageResult<()> {
-        self.writer.flush()?;
+        let retry = self.retry();
+        rpc(&*self.transport, NodeId::Client, NodeId::Writer, "flush", &retry, true, || {
+            self.writer.flush()
+        })?;
+        self.coordinator.bump_epoch();
+        self.refresh_readers()
+    }
+
+    /// Re-run the refresh fan-out (e.g. after healing a partition) so every
+    /// reachable reader converges to the current epoch.
+    pub fn resync(&self) -> StorageResult<()> {
         self.refresh_readers()
     }
 
     fn refresh_readers(&self) -> StorageResult<()> {
+        let retry = self.retry();
         for r in self.readers.read().iter() {
-            r.refresh()?;
+            let res = rpc(
+                &*self.transport,
+                NodeId::Coordinator,
+                NodeId::Reader(r.id),
+                "refresh",
+                &retry,
+                true,
+                || r.refresh(),
+            );
+            match res {
+                Ok(()) => {}
+                // Unreachable reader: leave it stale; it converges at its
+                // next query (epoch catch-up) or the next resync.
+                Err(e) if e.is_unavailable() => continue,
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }
 
     /// Distributed vector query: fan out to every reader (each covers its
-    /// shards), merge the partial top-k lists.
+    /// shards), merge the partial top-k lists. Readers that do not answer
+    /// after retries have their shards re-fanned to survivors (stateless
+    /// readers make that a cache fill); any shards that still lack coverage
+    /// only degrade the result, never abort it — see
+    /// [`Cluster::search_detailed`] for the coverage report.
     pub fn search(
         &self,
         field: &str,
         query: &[f32],
         params: &SearchParams,
     ) -> StorageResult<Vec<Neighbor>> {
+        self.search_detailed(field, query, params).map(|r| r.neighbors)
+    }
+
+    /// [`Cluster::search`] with the full fault-tolerance report.
+    pub fn search_detailed(
+        &self,
+        field: &str,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> StorageResult<SearchReport> {
+        let epoch = self.coordinator.epoch();
         let readers = self.readers.read().clone();
+        let retry = self.retry();
+        let t = &*self.transport;
         let mut lists = Vec::with_capacity(readers.len());
+        let mut survivors: Vec<Arc<ReaderNode>> = Vec::new();
+        let mut failed_readers: Vec<u64> = Vec::new();
+        let mut orphan_shards: Vec<usize> = Vec::new();
         for r in &readers {
-            lists.push(r.search(field, query, params)?);
+            // A reader that missed a flush/membership refresh catches up
+            // from shared storage before serving (read-your-writes after
+            // heal); failure to catch up counts as a failed reader.
+            let res = rpc(t, NodeId::Client, NodeId::Reader(r.id), "search", &retry, true, || {
+                r.catch_up(epoch)?;
+                r.search(field, query, params)
+            });
+            match res {
+                Ok(list) => {
+                    lists.push(list);
+                    survivors.push(Arc::clone(r));
+                }
+                Err(_) => {
+                    failed_readers.push(r.id);
+                    orphan_shards.extend(r.assigned_shards());
+                }
+            }
         }
-        Ok(milvus_storage::segment::merge_segment_results(&lists, params.k))
+        orphan_shards.sort_unstable();
+        orphan_shards.dedup();
+
+        // Fail-over: re-fan each unreachable reader's shards to survivors,
+        // rotating the starting survivor per shard for balance.
+        let mut failover_shards = Vec::new();
+        let mut uncovered_shards = Vec::new();
+        for (i, &shard) in orphan_shards.iter().enumerate() {
+            let mut recovered = false;
+            for j in 0..survivors.len() {
+                let s = &survivors[(i + j) % survivors.len()];
+                let res = rpc(
+                    t,
+                    NodeId::Client,
+                    NodeId::Reader(s.id),
+                    "failover_search",
+                    &retry,
+                    true,
+                    || s.search_shards(field, query, params, &[shard]),
+                );
+                if let Ok(list) = res {
+                    lists.push(list);
+                    failover_shards.push(shard);
+                    obs::counter(obs::NET_FAILOVERS, "cluster").inc();
+                    recovered = true;
+                    break;
+                }
+            }
+            if !recovered {
+                uncovered_shards.push(shard);
+            }
+        }
+        if !uncovered_shards.is_empty() {
+            obs::counter(obs::QUERY_ERRORS, "cluster").inc();
+        }
+        Ok(SearchReport {
+            neighbors: milvus_storage::segment::merge_segment_results(&lists, params.k),
+            failed_readers,
+            failover_shards,
+            uncovered_shards,
+        })
     }
 
     /// Max per-reader busy time since the last reset — the simulated

@@ -4,6 +4,7 @@
 //! shared `Arc` whose state survives any compute-node "crash" by
 //! construction, which models the same guarantee.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -16,6 +17,10 @@ pub struct Coordinator {
     ring: RwLock<HashRing>,
     readers: RwLock<Vec<u64>>,
     next_reader_id: RwLock<u64>,
+    /// Monotonic placement/visibility epoch, bumped on every flush and
+    /// membership change. A reader whose `seen_epoch` lags behind serves
+    /// stale segments; the cluster refreshes it lazily before querying it.
+    epoch: AtomicU64,
 }
 
 impl Coordinator {
@@ -26,7 +31,19 @@ impl Coordinator {
             ring: RwLock::new(HashRing::new(512)),
             readers: RwLock::new(Vec::new()),
             next_reader_id: RwLock::new(0),
+            epoch: AtomicU64::new(0),
         })
+    }
+
+    /// Current placement/visibility epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Advance the epoch (after a flush or membership change); returns the
+    /// new value.
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// Number of data shards.

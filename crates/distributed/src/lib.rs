@@ -9,10 +9,16 @@
 //! storage; crashed instances are simply restarted (K8s in the paper) and
 //! rebuild from shared state, because compute is stateless.
 //!
-//! Everything runs in-process: nodes are plain structs, RPC is a method
-//! call, and node parallelism is simulated by accounting per-reader busy
-//! time (Figure 10b's near-linear read scaling is a property of the
-//! sharding logic, which is executed for real).
+//! Everything runs in-process: nodes are plain structs, and node
+//! parallelism is simulated by accounting per-reader busy time (Figure
+//! 10b's near-linear read scaling is a property of the sharding logic,
+//! which is executed for real). RPC, however, is *not* a bare method call:
+//! every coordinator↔writer↔reader↔client interaction routes through a
+//! [`transport::Transport`] — [`transport::Direct`] preserves the zero-cost
+//! in-process path, while [`transport::SimNet`] injects seeded,
+//! deterministic drops / delays / duplicates / reorders and full or partial
+//! partitions so the failover paths can be exercised for real (DESIGN.md
+//! §9).
 
 pub mod cluster;
 pub mod coordinator;
@@ -20,8 +26,10 @@ pub mod hashring;
 pub mod log_ship;
 pub mod prefix_store;
 pub mod reader;
+pub mod transport;
 pub mod writer;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, SearchReport};
 pub use coordinator::Coordinator;
 pub use hashring::HashRing;
+pub use transport::{Direct, FaultPlan, NodeId, RetryPolicy, SimNet, Transport};

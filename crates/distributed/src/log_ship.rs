@@ -17,6 +17,8 @@ use milvus_storage::object_store::ObjectStore;
 use milvus_storage::wal::LogRecord;
 use milvus_storage::{InsertBatch, Result as StorageResult};
 
+use crate::transport::{Direct, NodeId, Transport};
+
 fn log_key(seq: u64) -> String {
     format!("wal/{seq:016}.json")
 }
@@ -29,24 +31,49 @@ fn parse_log_key(key: &str) -> Option<u64> {
 pub struct SharedLog {
     store: Arc<dyn ObjectStore>,
     next_seq: AtomicU64,
+    /// Log records travel the `Writer → Storage` link as one-way messages:
+    /// a simulated transport may duplicate them (same key, same bytes —
+    /// idempotent), hold them back for reordered delivery (distinct keys —
+    /// order-free), or drop them (modelled log loss).
+    transport: Arc<dyn Transport>,
 }
 
 impl SharedLog {
     /// Open the log, resuming the sequence after any existing records.
     pub fn open(store: Arc<dyn ObjectStore>) -> StorageResult<Self> {
+        Self::open_with_transport(store, Arc::new(Direct))
+    }
+
+    /// [`SharedLog::open`] with record shipping routed through `transport`.
+    pub fn open_with_transport(
+        store: Arc<dyn ObjectStore>,
+        transport: Arc<dyn Transport>,
+    ) -> StorageResult<Self> {
         let max = store
             .list("wal/")?
             .iter()
             .filter_map(|k| parse_log_key(k))
             .max()
             .unwrap_or(0);
-        Ok(Self { store, next_seq: AtomicU64::new(max + 1) })
+        Ok(Self { store, next_seq: AtomicU64::new(max + 1), transport })
     }
 
     fn append(&self, rec: &LogRecord) -> StorageResult<u64> {
         let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
-        let blob = serde_json::to_vec(rec)?;
-        self.store.put(&log_key(seq), Bytes::from(blob))?;
+        let blob = Bytes::from(serde_json::to_vec(rec)?);
+        if self.transport.is_direct() {
+            self.store.put(&log_key(seq), blob)?;
+        } else {
+            let store = Arc::clone(&self.store);
+            let key = log_key(seq);
+            self.transport.send_oneway(
+                NodeId::Writer,
+                NodeId::Storage,
+                Box::new(move || {
+                    let _ = store.put(&key, blob.clone());
+                }),
+            );
+        }
         obs::counter(obs::LOG_SHIP_RECORDS, "shared").inc();
         Ok(seq)
     }

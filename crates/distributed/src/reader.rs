@@ -7,7 +7,7 @@
 //! Because readers are stateless, a crashed reader is replaced by simply
 //! registering a fresh one — no recovery protocol.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,6 +23,7 @@ use milvus_storage::{Result as StorageResult, Schema};
 use parking_lot::RwLock;
 
 use crate::coordinator::Coordinator;
+use crate::transport::{rpc, Direct, NodeId, RetryPolicy, Transport};
 
 /// A reader node.
 pub struct ReaderNode {
@@ -33,21 +34,40 @@ pub struct ReaderNode {
     schema: Schema,
     coordinator: Arc<Coordinator>,
     shared: Arc<dyn ObjectStore>,
+    /// All shared-storage reads route through this transport on the
+    /// `Reader(id) → Storage` link.
+    transport: Arc<dyn Transport>,
+    retry: RetryPolicy,
     pool: BufferPool,
-    /// shard → loaded segments.
-    segments: RwLock<HashMap<usize, Vec<Arc<Segment>>>>,
+    /// shard → loaded segments. A `BTreeMap` so iteration (and therefore
+    /// the sequence of per-link fate draws under a simulated transport) is
+    /// deterministic.
+    segments: RwLock<BTreeMap<usize, Vec<Arc<Segment>>>>,
+    /// Highest coordinator epoch this reader has refreshed against.
+    seen_epoch: AtomicU64,
     /// Accumulated search time in nanoseconds — the per-node busy clock used
     /// to model node parallelism (Figure 10b).
     busy_ns: AtomicU64,
 }
 
 impl ReaderNode {
-    /// Register a new reader with the coordinator.
+    /// Register a new reader with the coordinator (direct transport).
     pub fn register(
         schema: Schema,
         coordinator: Arc<Coordinator>,
         shared: Arc<dyn ObjectStore>,
         cache_bytes: usize,
+    ) -> Arc<Self> {
+        Self::register_with_transport(schema, coordinator, shared, cache_bytes, Arc::new(Direct))
+    }
+
+    /// Register a new reader whose storage fetches route through `transport`.
+    pub fn register_with_transport(
+        schema: Schema,
+        coordinator: Arc<Coordinator>,
+        shared: Arc<dyn ObjectStore>,
+        cache_bytes: usize,
+        transport: Arc<dyn Transport>,
     ) -> Arc<Self> {
         let id = coordinator.register_reader();
         let label = format!("reader-{id}");
@@ -57,8 +77,11 @@ impl ReaderNode {
             schema,
             coordinator,
             shared,
+            transport,
+            retry: RetryPolicy::default(),
             pool: BufferPool::with_label(cache_bytes, label),
-            segments: RwLock::new(HashMap::new()),
+            segments: RwLock::new(BTreeMap::new()),
+            seen_epoch: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
         })
     }
@@ -71,37 +94,68 @@ impl ReaderNode {
     /// Pull the newest segment versions of every assigned shard from shared
     /// storage (readers poll after writer flushes).
     pub fn refresh(&self) -> StorageResult<()> {
-        let mut next: HashMap<usize, Vec<Arc<Segment>>> = HashMap::new();
+        // Read the epoch *before* loading: if a flush bumps it mid-refresh
+        // we conservatively record the older value and refresh again later.
+        let epoch = self.coordinator.epoch();
+        let mut next: BTreeMap<usize, Vec<Arc<Segment>>> = BTreeMap::new();
         for shard in self.assigned_shards() {
-            let prefix = format!("shard-{shard}/segments/");
-            let mut latest: HashMap<u64, (u64, String)> = HashMap::new();
-            for key in self.shared.list(&prefix)? {
-                if let Some((seg_id, version)) = parse_key(&key) {
-                    let e = latest.entry(seg_id).or_insert((version, key.clone()));
-                    if version > e.0 {
-                        *e = (version, key);
-                    }
-                }
-            }
-            let mut segs = Vec::with_capacity(latest.len());
-            for (seg_id, (version, key)) in latest {
-                // Cache key folds shard, segment and version together so a
-                // new version is a distinct pool entry.
-                let cache_key =
-                    (shard as u64) << 48 | (seg_id & 0xFFFF_FFFF) << 16 | (version & 0xFFFF);
-                let shared = Arc::clone(&self.shared);
-                let seg = self.pool.get_or_load(cache_key, move || {
-                    let blob = shared.get(&key)?;
-                    Ok(Arc::new(codec::decode_segment(seg_id, version, &blob)?))
-                })?;
-                segs.push(seg);
-            }
-            segs.sort_by_key(|s| s.id);
-            next.insert(shard, segs);
+            next.insert(shard, self.load_shard(shard)?);
         }
         *self.segments.write() = next;
+        self.seen_epoch.fetch_max(epoch, Ordering::SeqCst);
         obs::counter(obs::READER_REFRESHES, "reader").inc();
         Ok(())
+    }
+
+    /// Refresh only if this reader has not yet seen `epoch` — the lazy
+    /// catch-up path for readers whose flush-time refresh was unreachable
+    /// (they converge at the next query once their storage link heals).
+    pub fn catch_up(&self, epoch: u64) -> StorageResult<()> {
+        if self.seen_epoch.load(Ordering::SeqCst) >= epoch {
+            return Ok(());
+        }
+        self.refresh()
+    }
+
+    /// Highest coordinator epoch this reader has refreshed against.
+    pub fn seen_epoch(&self) -> u64 {
+        self.seen_epoch.load(Ordering::SeqCst)
+    }
+
+    /// Load the newest segment versions of one shard from shared storage,
+    /// routing `list`/`get` over the `Reader(id) → Storage` link.
+    fn load_shard(&self, shard: usize) -> StorageResult<Vec<Arc<Segment>>> {
+        let me = NodeId::Reader(self.id);
+        let prefix = format!("shard-{shard}/segments/");
+        let keys = rpc(&*self.transport, me, NodeId::Storage, "list", &self.retry, true, || {
+            self.shared.list(&prefix)
+        })?;
+        // BTreeMap: version resolution and load order are deterministic.
+        let mut latest: BTreeMap<u64, (u64, String)> = BTreeMap::new();
+        for key in keys {
+            if let Some((seg_id, version)) = parse_key(&key) {
+                let e = latest.entry(seg_id).or_insert((version, key.clone()));
+                if version > e.0 {
+                    *e = (version, key);
+                }
+            }
+        }
+        let mut segs = Vec::with_capacity(latest.len());
+        for (seg_id, (version, key)) in latest {
+            // Cache key folds shard, segment and version together so a
+            // new version is a distinct pool entry.
+            let cache_key =
+                (shard as u64) << 48 | (seg_id & 0xFFFF_FFFF) << 16 | (version & 0xFFFF);
+            let seg = self.pool.get_or_load(cache_key, || {
+                rpc(&*self.transport, me, NodeId::Storage, "get", &self.retry, true, || {
+                    let blob = self.shared.get(&key)?;
+                    Ok(Arc::new(codec::decode_segment(seg_id, version, &blob)?))
+                })
+            })?;
+            segs.push(seg);
+        }
+        segs.sort_by_key(|s| s.id);
+        Ok(segs)
     }
 
     /// Segments currently loaded (across shards).
@@ -191,6 +245,40 @@ impl ReaderNode {
         let t = trace.begin();
         let merged = milvus_storage::segment::merge_segment_results(&lists, params.k);
         trace.record(obs::SpanKind::HeapMerge, t);
+        self.busy_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(merged)
+    }
+
+    /// Search an explicit set of shards, regardless of this reader's current
+    /// assignment — the fail-over path. Shards this reader already serves are
+    /// answered from its loaded segments; any other shard is fetched
+    /// on demand from shared storage (readers are stateless, so covering an
+    /// unreachable peer's shards is just a cache fill). On-demand shards are
+    /// *not* retained in the assignment map — the orphaned coverage is
+    /// transient, but the bufferpool keeps the blobs hot for repeat calls.
+    pub fn search_shards(
+        &self,
+        field: &str,
+        query: &[f32],
+        params: &SearchParams,
+        shards: &[usize],
+    ) -> StorageResult<Vec<Neighbor>> {
+        let start = Instant::now();
+        let mut lists = Vec::new();
+        for &shard in shards {
+            let held = self.segments.read().get(&shard).cloned();
+            let segs = match held {
+                Some(segs) => segs,
+                None => self.load_shard(shard)?,
+            };
+            for seg in &segs {
+                let (list, _) =
+                    seg.search_field_stats(&self.schema, field, query, params, None)?;
+                lists.push(list);
+            }
+        }
+        let merged = milvus_storage::segment::merge_segment_results(&lists, params.k);
         self.busy_ns
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         Ok(merged)

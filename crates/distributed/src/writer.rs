@@ -45,8 +45,27 @@ impl WriterNode {
         shared: Arc<dyn ObjectStore>,
         coordinator: Arc<Coordinator>,
     ) -> StorageResult<Self> {
+        Self::with_log_shipping_transport(
+            schema,
+            config,
+            shared,
+            coordinator,
+            Arc::new(crate::transport::Direct),
+        )
+    }
+
+    /// [`WriterNode::with_log_shipping`] with shipped records routed over
+    /// `transport`'s `Writer → Storage` link (duplicates, reorders and drops
+    /// become testable).
+    pub fn with_log_shipping_transport(
+        schema: Schema,
+        config: LsmConfig,
+        shared: Arc<dyn ObjectStore>,
+        coordinator: Arc<Coordinator>,
+        transport: Arc<dyn crate::transport::Transport>,
+    ) -> StorageResult<Self> {
         let engines = Self::make_engines(&schema, &config, &shared, &coordinator, false)?;
-        let shared_log = Some(SharedLog::open(shared)?);
+        let shared_log = Some(SharedLog::open_with_transport(shared, transport)?);
         Ok(Self { coordinator, engines, shared_log })
     }
 

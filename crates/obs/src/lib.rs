@@ -511,6 +511,30 @@ pub const EXEC_QUEUE_DEPTH: &str = "milvus_exec_queue_depth";
 pub const EXEC_WORKERS_BUSY: &str = "milvus_exec_workers_busy";
 /// Worker threads in the pool (per pool).
 pub const EXEC_WORKERS: &str = "milvus_exec_workers";
+/// Messages offered to the network transport (per link).
+pub const NET_SENT: &str = "milvus_net_sent_total";
+/// Messages lost to injected loss or a partition (per link).
+pub const NET_DROPPED: &str = "milvus_net_dropped_total";
+/// Messages delivered with injected latency (per link).
+pub const NET_DELAYED: &str = "milvus_net_delayed_total";
+/// Messages delivered more than once (per link).
+pub const NET_DUPLICATED: &str = "milvus_net_duplicated_total";
+/// One-way messages held back and replayed out of order (per link).
+pub const NET_REORDERED: &str = "milvus_net_reordered_total";
+/// RPC attempts re-sent after a timeout (per link).
+pub const NET_RETRIES: &str = "milvus_net_retries_total";
+/// RPC attempts that timed out (per link).
+pub const NET_TIMEOUTS: &str = "milvus_net_timeouts_total";
+/// Shards re-fanned to a surviving reader after a reader became
+/// unreachable (cluster-wide).
+pub const NET_FAILOVERS: &str = "milvus_net_failovers_total";
+/// 1 when the link is up, 0 while partitioned (per link).
+pub const NET_LINK_UP: &str = "milvus_net_link_up";
+/// Injected loss probability of the link in parts per million (per link).
+pub const NET_LINK_LOSS_PPM: &str = "milvus_net_link_loss_ppm";
+/// Accumulated virtual time (timeouts, backoff, injected delays) of a
+/// simulated network, in microseconds.
+pub const NET_VIRTUAL_TIME_US: &str = "milvus_net_virtual_time_us";
 
 // ---------------------------------------------------------------------------
 // Declared metric families: name, type and HELP text. The Prometheus render
@@ -571,6 +595,17 @@ pub const FAMILIES: &[FamilyDesc] = &[
     FamilyDesc { name: LOG_SHIP_RECORDS, kind: MetricKind::Counter, help: "Log records shipped by the distributed writer." },
     FamilyDesc { name: MEMTABLE_FLUSH_LATENCY, kind: MetricKind::Histogram, help: "Memtable flush latency." },
     FamilyDesc { name: MEMTABLE_FLUSHES, kind: MetricKind::Counter, help: "Memtable flushes to segments." },
+    FamilyDesc { name: NET_DELAYED, kind: MetricKind::Counter, help: "Messages delivered with injected latency." },
+    FamilyDesc { name: NET_DROPPED, kind: MetricKind::Counter, help: "Messages lost to injected loss or a partition." },
+    FamilyDesc { name: NET_DUPLICATED, kind: MetricKind::Counter, help: "Messages delivered more than once." },
+    FamilyDesc { name: NET_FAILOVERS, kind: MetricKind::Counter, help: "Shards re-fanned to a surviving reader after a reader became unreachable." },
+    FamilyDesc { name: NET_LINK_LOSS_PPM, kind: MetricKind::Gauge, help: "Injected loss probability of the link in parts per million." },
+    FamilyDesc { name: NET_LINK_UP, kind: MetricKind::Gauge, help: "1 when the link is up, 0 while partitioned." },
+    FamilyDesc { name: NET_REORDERED, kind: MetricKind::Counter, help: "One-way messages held back and replayed out of order." },
+    FamilyDesc { name: NET_RETRIES, kind: MetricKind::Counter, help: "RPC attempts re-sent after a timeout." },
+    FamilyDesc { name: NET_SENT, kind: MetricKind::Counter, help: "Messages offered to the network transport." },
+    FamilyDesc { name: NET_TIMEOUTS, kind: MetricKind::Counter, help: "RPC attempts that timed out." },
+    FamilyDesc { name: NET_VIRTUAL_TIME_US, kind: MetricKind::Gauge, help: "Accumulated virtual time of a simulated network in microseconds." },
     FamilyDesc { name: OBJECT_ERRORS, kind: MetricKind::Counter, help: "Object-store failures (includes injected faults)." },
     FamilyDesc { name: OBJECT_GET_BYTES, kind: MetricKind::Counter, help: "Object-store bytes read." },
     FamilyDesc { name: OBJECT_GETS, kind: MetricKind::Counter, help: "Object-store get calls." },

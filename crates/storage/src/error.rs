@@ -25,6 +25,20 @@ pub enum StorageError {
 
     /// A duplicate primary key was inserted.
     DuplicateId(i64),
+
+    /// A remote endpoint could not be reached (dropped message, partition,
+    /// or exhausted RPC retries). Callers may treat this as transient and
+    /// retry or fail over, unlike the other variants.
+    Unavailable(String),
+}
+
+impl StorageError {
+    /// True when the error is a transport-level unavailability (timeout,
+    /// partition) rather than an application failure — the distinction the
+    /// distributed layer uses to decide between fail-over and propagation.
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, StorageError::Unavailable(_))
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -37,6 +51,7 @@ impl fmt::Display for StorageError {
             StorageError::WalEncode(e) => write!(f, "wal encode error: {e}"),
             StorageError::Index(e) => write!(f, "index error: {e}"),
             StorageError::DuplicateId(id) => write!(f, "duplicate entity id: {id}"),
+            StorageError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
         }
     }
 }

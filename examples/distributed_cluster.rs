@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use milvus_datagen as datagen;
-use milvus_distributed::Cluster;
+use milvus_distributed::{Cluster, NodeId, SimNet};
 use milvus_index::traits::SearchParams;
 use milvus_index::Metric;
 use milvus_storage::object_store::MemoryStore;
@@ -74,4 +74,46 @@ fn main() {
     let post_delete = cluster.search("v", queries.get(0), &sp).expect("search");
     assert!(post_delete.iter().all(|x| x.id != before[0].id));
     println!("\ndeleted top hit {}; no longer returned ✓", before[0].id);
+
+    // ---- Simulated lossy network (DESIGN.md §9) -------------------------
+    // The same cluster shape over a seeded SimNet: partition one reader's
+    // query link and watch the fan-out retry, time out (virtual time only)
+    // and fail its shards over to the survivors — results stay exact.
+    let net = SimNet::new(42);
+    let sim = Cluster::with_transport(
+        Schema::single("v", 96, Metric::L2),
+        16,
+        3,
+        Arc::new(MemoryStore::new()),
+        LsmConfig::default(),
+        net.clone(),
+    )
+    .expect("sim cluster");
+    let n = 5_000;
+    let data = datagen::deep_like(n, 557);
+    sim.insert(InsertBatch::single((0..n as i64).collect(), data.clone())).expect("insert");
+    sim.flush().expect("flush");
+    let q = datagen::queries_from(&data, 1, 0.05, 558);
+    let clean = sim.search("v", q.get(0), &sp).expect("search");
+
+    let victim = sim.readers()[0].id;
+    net.partition(NodeId::Client, NodeId::Reader(victim));
+    let report = sim.search_detailed("v", q.get(0), &sp).expect("search under partition");
+    assert_eq!(report.neighbors, clean);
+    println!(
+        "\npartitioned reader {victim}: failed={:?} failover shards={:?} — results exact ✓",
+        report.failed_readers, report.failover_shards
+    );
+    net.heal();
+    let healed = sim.search_detailed("v", q.get(0), &sp).expect("search after heal");
+    assert!(healed.failed_readers.is_empty());
+    let s = net.stats();
+    println!(
+        "healed; network saw sent={} dropped={} retries={} timeouts={} (virtual {}ms)",
+        s.sent,
+        s.dropped,
+        s.retries,
+        s.timeouts,
+        net.virtual_time().as_millis()
+    );
 }

@@ -88,7 +88,8 @@ fn main() {
     );
 
     // --- GET /metrics: must be 200 and carry the bufferpool + tracing +
-    // executor families.
+    // executor + simulated-network families (declared at zero even before
+    // any simulated traffic, so dashboards can pin them).
     let metrics = expect_ok("GET /metrics", request(addr, "GET", "/metrics", ""));
     for family in [
         "milvus_bufferpool_hits_total",
@@ -102,6 +103,12 @@ fn main() {
         "milvus_exec_tasks_total",
         "milvus_exec_workers",
         "milvus_exec_workers_busy",
+        "milvus_net_sent_total",
+        "milvus_net_dropped_total",
+        "milvus_net_delayed_total",
+        "milvus_net_retries_total",
+        "milvus_net_timeouts_total",
+        "milvus_net_failovers_total",
     ] {
         check(
             &format!("/metrics declares {family}"),

@@ -1,0 +1,374 @@
+//! Network partition / fault-injection suite for the distributed layer
+//! (DESIGN.md §9): every coordinator↔writer↔reader↔storage interaction
+//! routes through a seeded [`SimNet`], so drops, delays, duplicates,
+//! reorders and (a)symmetric partitions are injected deterministically and
+//! the failover paths are exercised for real.
+//!
+//! The invariant throughout: a search that reports complete coverage
+//! (`SearchReport::is_complete`) returns results **identical** to the
+//! fault-free reference — failover may degrade latency, never correctness.
+
+use std::sync::Arc;
+
+use milvus_datagen as datagen;
+use milvus_distributed::{Cluster, NodeId, RetryPolicy, SimNet, Transport};
+use milvus_index::traits::SearchParams;
+use milvus_index::{Metric, Neighbor, VectorSet};
+use milvus_storage::object_store::MemoryStore;
+use milvus_storage::{InsertBatch, LsmConfig, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 16;
+
+fn sim_cluster(shards: usize, readers: usize, seed: u64) -> (Cluster, Arc<SimNet>) {
+    let net = SimNet::new(seed);
+    let c = Cluster::with_transport(
+        Schema::single("v", DIM, Metric::L2),
+        shards,
+        readers,
+        Arc::new(MemoryStore::new()),
+        LsmConfig { auto_merge: false, ..Default::default() },
+        net.clone(),
+    )
+    .unwrap();
+    (c, net)
+}
+
+fn direct_cluster(shards: usize, readers: usize) -> Cluster {
+    Cluster::new(
+        Schema::single("v", DIM, Metric::L2),
+        shards,
+        readers,
+        Arc::new(MemoryStore::new()),
+        LsmConfig { auto_merge: false, ..Default::default() },
+    )
+    .unwrap()
+}
+
+fn fill(c: &Cluster, data: &VectorSet) {
+    let ids: Vec<i64> = (0..data.len() as i64).collect();
+    c.insert(InsertBatch::single(ids, data.clone())).unwrap();
+    c.flush().unwrap();
+}
+
+/// Regression test for the old first-error propagation at the search
+/// fan-out: killing one reader's query link mid-stream must no longer abort
+/// the whole query — the dead reader's shards are re-fanned to survivors
+/// and the merged result matches the serial (fault-free) reference exactly.
+#[test]
+fn reader_link_killed_mid_query_matches_serial_reference() {
+    let data = datagen::clustered(600, DIM, 12, -1.0, 1.0, 0.2, 901);
+    let (c, net) = sim_cluster(8, 3, 31);
+    fill(&c, &data);
+    let reference = direct_cluster(8, 3);
+    fill(&reference, &data);
+
+    let sp = SearchParams::top_k(10);
+    let queries = datagen::queries_from(&data, 8, 0.05, 902);
+    let victim = c.readers()[1].id;
+    for qi in 0..queries.len() {
+        if qi == 3 {
+            // Kill the victim's query link mid-stream (both directions).
+            net.partition(NodeId::Client, NodeId::Reader(victim));
+        }
+        let q = queries.get(qi);
+        let report = c.search_detailed("v", q, &sp).unwrap();
+        let expect = reference.search("v", q, &sp).unwrap();
+        assert!(report.is_complete(), "query {qi}: coverage degraded");
+        assert_eq!(report.neighbors, expect, "query {qi}");
+        if qi >= 3 {
+            assert_eq!(report.failed_readers, vec![victim], "query {qi}");
+            assert!(!report.failover_shards.is_empty(), "query {qi}");
+        } else {
+            assert!(report.failed_readers.is_empty(), "query {qi}");
+        }
+    }
+    let stats = net.stats();
+    assert!(stats.dropped > 0 && stats.timeouts > 0 && stats.retries > 0);
+}
+
+/// (a) A reader isolated from queries but NOT from storage: survivors load
+/// its shards on demand from shared storage, so results stay exact.
+#[test]
+fn isolated_reader_fails_over_with_exact_results() {
+    let data = datagen::clustered(500, DIM, 10, -1.0, 1.0, 0.2, 903);
+    let (c, net) = sim_cluster(6, 3, 32);
+    fill(&c, &data);
+
+    let sp = SearchParams::top_k(5);
+    let q = data.get(123).to_vec();
+    let before = c.search_detailed("v", &q, &sp).unwrap();
+    assert!(before.is_complete() && before.failed_readers.is_empty());
+
+    let victim = c.readers()[0].id;
+    let victim_shards = c.readers()[0].assigned_shards();
+    net.partition(NodeId::Client, NodeId::Reader(victim));
+
+    let during = c.search_detailed("v", &q, &sp).unwrap();
+    assert!(during.is_complete(), "failover must preserve full coverage");
+    assert_eq!(during.neighbors, before.neighbors, "failover changed results");
+    assert_eq!(during.failed_readers, vec![victim]);
+    assert_eq!(during.failover_shards, victim_shards);
+
+    net.heal();
+    let after = c.search_detailed("v", &q, &sp).unwrap();
+    assert!(after.failed_readers.is_empty(), "healed link still failing");
+    assert_eq!(after.neighbors, before.neighbors);
+}
+
+/// (b) The coordinator↔reader link flaps during a flush: the reader misses
+/// the refresh fan-out and is left stale, but after `heal()` the readers
+/// converge (lazily at the next query, or eagerly on `resync()`).
+#[test]
+fn refresh_flap_during_flush_converges_after_heal() {
+    let data = datagen::clustered(400, DIM, 8, -1.0, 1.0, 0.2, 904);
+    let (c, net) = sim_cluster(4, 2, 33);
+    fill(&c, &data);
+
+    let victim = c.readers()[0].id;
+    let epoch_before = c.coordinator().epoch();
+
+    // Flap: the victim is unreachable from the coordinator AND from shared
+    // storage while new data is flushed.
+    net.partition(NodeId::Coordinator, NodeId::Reader(victim));
+    net.partition(NodeId::Reader(victim), NodeId::Storage);
+    let mut fresh = VectorSet::new(DIM);
+    fresh.push(&[9.0; DIM]);
+    c.insert(InsertBatch::single(vec![400], fresh)).unwrap();
+    c.flush().unwrap(); // must not fail because one reader is unreachable
+
+    let stale = c.readers().iter().find(|r| r.id == victim).unwrap().clone();
+    assert!(stale.seen_epoch() <= epoch_before, "victim saw the flush through a partition");
+    assert!(c.coordinator().epoch() > epoch_before);
+
+    // While flapped, queries still see the new row: the stale reader cannot
+    // catch up (storage link down), so its shards fail over to survivors.
+    let sp = SearchParams::top_k(1);
+    let report = c.search_detailed("v", &[9.0; DIM], &sp).unwrap();
+    assert!(report.is_complete());
+    assert_eq!(report.neighbors[0].id, 400);
+
+    // Heal; resync converges every reader to the current epoch.
+    net.heal();
+    c.resync().unwrap();
+    assert_eq!(stale.seen_epoch(), c.coordinator().epoch(), "reader did not converge");
+    let report = c.search_detailed("v", &[9.0; DIM], &sp).unwrap();
+    assert!(report.failed_readers.is_empty());
+    assert_eq!(report.neighbors[0].id, 400);
+}
+
+/// (c) An asymmetric link (requests delivered, responses dropped — and the
+/// reverse) terminates instead of deadlocking: bounded retries burn virtual
+/// time only, then the shards fail over.
+#[test]
+fn asymmetric_link_does_not_deadlock() {
+    let data = datagen::clustered(300, DIM, 6, -1.0, 1.0, 0.2, 905);
+    let sp = SearchParams::top_k(5);
+    let wall = std::time::Instant::now();
+
+    for lost_leg in ["request", "response"] {
+        let (c, net) = sim_cluster(4, 2, 34);
+        fill(&c, &data);
+        let q = data.get(42).to_vec();
+        let expect = c.search("v", &q, &sp).unwrap();
+
+        let victim = c.readers()[0].id;
+        match lost_leg {
+            "request" => net.partition_oneway(NodeId::Client, NodeId::Reader(victim)),
+            _ => net.partition_oneway(NodeId::Reader(victim), NodeId::Client),
+        }
+        let report = c.search_detailed("v", &q, &sp).unwrap();
+        assert!(report.is_complete(), "{lost_leg}: coverage degraded");
+        assert_eq!(report.neighbors, expect, "{lost_leg}: results changed");
+        assert_eq!(report.failed_readers, vec![victim], "{lost_leg}");
+        assert!(net.virtual_time() > std::time::Duration::ZERO, "{lost_leg}");
+    }
+    // Timeouts and backoff are virtual: the whole test runs in real
+    // milliseconds, which is the no-deadlock/no-sleep guarantee.
+    assert!(wall.elapsed() < std::time::Duration::from_secs(10));
+}
+
+/// (d) Log-ship messages that are duplicated and reordered in flight leave
+/// the shipped WAL idempotent: a standby replays to the same state as a
+/// writer whose link was clean.
+#[test]
+fn duplicated_reordered_log_ship_is_idempotent() {
+    use milvus_distributed::coordinator::Coordinator;
+    use milvus_distributed::writer::WriterNode;
+
+    let schema = Schema::single("v", DIM, Metric::L2);
+    let cfg = LsmConfig { auto_merge: false, ..Default::default() };
+    let data = datagen::clustered(240, DIM, 6, -1.0, 1.0, 0.2, 906);
+
+    let run = |dup: f64, reorder: f64| -> (usize, Vec<String>) {
+        let shared: Arc<dyn milvus_storage::object_store::ObjectStore> =
+            Arc::new(MemoryStore::new());
+        let coordinator = Coordinator::new(4);
+        let net = SimNet::new(35);
+        net.set_duplicate(NodeId::Writer, NodeId::Storage, dup);
+        net.set_reorder(NodeId::Writer, NodeId::Storage, reorder);
+        {
+            let writer = WriterNode::with_log_shipping_transport(
+                schema.clone(),
+                cfg.clone(),
+                Arc::clone(&shared),
+                Arc::clone(&coordinator),
+                net.clone(),
+            )
+            .unwrap();
+            // Flushed prefix + a log-only tail, mirroring a writer crash.
+            let head: Vec<usize> = (0..160).collect();
+            writer
+                .insert(InsertBatch::single((0..160).collect(), data.gather(&head)))
+                .unwrap();
+            writer.flush().unwrap();
+            let tail: Vec<usize> = (160..240).collect();
+            writer
+                .insert(InsertBatch::single((160..240).collect(), data.gather(&tail)))
+                .unwrap();
+            writer.delete(&[7, 77]).unwrap();
+        }
+        // The network finally delivers everything it held back.
+        net.flush_pending();
+        let standby =
+            WriterNode::standby_takeover(schema.clone(), cfg.clone(), Arc::clone(&shared), coordinator)
+                .unwrap();
+        let mut wal_keys = shared.list("wal/").unwrap();
+        wal_keys.sort();
+        (standby.live_rows(), wal_keys)
+    };
+
+    let (clean_rows, _) = run(0.0, 0.0);
+    assert_eq!(clean_rows, 238); // 240 - 2 deletes
+    let (faulty_rows, faulty_keys) = run(1.0, 0.6);
+    assert_eq!(faulty_rows, clean_rows, "duplicated/reordered log-ship diverged");
+    // Duplicates landed on the same keys: no phantom records appear.
+    assert_eq!(faulty_keys.iter().collect::<std::collections::HashSet<_>>().len(), faulty_keys.len());
+}
+
+/// Transcript of one chaos run: every completed search's exact results (bit
+/// patterns, not approximate floats) plus every coverage report.
+fn chaos_run(seed: u64) -> Vec<String> {
+    let data = datagen::clustered(800, DIM, 16, -1.0, 1.0, 0.2, 907);
+    let (c, net) = sim_cluster(8, 3, seed);
+    let reference = direct_cluster(8, 3);
+    // Retries are cheap in virtual time; a deeper budget rides out higher
+    // loss rates without giving up coverage too early.
+    c.set_retry_policy(RetryPolicy { attempts: 5, ..Default::default() });
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let mut transcript = Vec::new();
+    let mut next_id: i64 = 0;
+    let mut pending: Vec<(Vec<i64>, VectorSet)> = Vec::new();
+    let sp = SearchParams::top_k(10);
+    let reader_ids: Vec<u64> = c.readers().iter().map(|r| r.id).collect();
+
+    let insert_some = |c: &Cluster,
+                           reference: &Cluster,
+                           rng: &mut StdRng,
+                           next_id: &mut i64,
+                           pending: &mut Vec<(Vec<i64>, VectorSet)>| {
+        let n = rng.gen_range(5..20);
+        let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..data.len())).collect();
+        let ids: Vec<i64> = (0..n as i64).map(|i| *next_id + i).collect();
+        *next_id += n as i64;
+        let vs = data.gather(&rows);
+        // Writes never traverse a faulted link in this schedule, so both
+        // clusters apply the exact same sequence.
+        c.insert(InsertBatch::single(ids.clone(), vs.clone())).unwrap();
+        reference.insert(InsertBatch::single(ids.clone(), vs.clone())).unwrap();
+        pending.push((ids, vs));
+    };
+
+    // Seed both clusters identically before the faults start.
+    insert_some(&c, &reference, &mut rng, &mut next_id, &mut pending);
+    c.flush().unwrap();
+    reference.flush().unwrap();
+
+    let mut completed = 0usize;
+    let mut degraded = 0usize;
+    for step in 0..200 {
+        match rng.gen_range(0..10) {
+            0 | 1 => insert_some(&c, &reference, &mut rng, &mut next_id, &mut pending),
+            2 => {
+                c.flush().unwrap();
+                reference.flush().unwrap();
+                transcript.push(format!("step {step}: flush epoch={}", c.coordinator().epoch()));
+            }
+            3 => {
+                // Perturb the network: partition a reader's query, refresh
+                // or storage link, or make it lossy. Writer links are never
+                // touched, so the two clusters hold identical data.
+                let r = NodeId::Reader(*rand::seq::SliceRandom::choose(
+                    reader_ids.as_slice(),
+                    &mut rng,
+                )
+                .unwrap());
+                let peer = match rng.gen_range(0..3) {
+                    0 => NodeId::Client,
+                    1 => NodeId::Coordinator,
+                    _ => NodeId::Storage,
+                };
+                let (from, to) = if peer == NodeId::Storage { (r, peer) } else { (peer, r) };
+                if rng.gen_bool(0.5) {
+                    net.partition(from, to);
+                    transcript.push(format!("step {step}: partition {from}-{to}"));
+                } else {
+                    let p = rng.gen_range(0.2..0.9);
+                    net.set_loss(from, to, p);
+                    transcript.push(format!("step {step}: loss {from}->{to} p={p:.3}"));
+                }
+            }
+            4 => {
+                net.heal();
+                c.resync().unwrap();
+                transcript.push(format!("step {step}: heal"));
+            }
+            _ => {
+                let q = data.get(rng.gen_range(0..data.len()));
+                let report = c.search_detailed("v", q, &sp).unwrap();
+                transcript.push(format!(
+                    "step {step}: search failed={:?} failover={:?} uncovered={:?} ids={:?}",
+                    report.failed_readers,
+                    report.failover_shards,
+                    report.uncovered_shards,
+                    report
+                        .neighbors
+                        .iter()
+                        .map(|n: &Neighbor| (n.id, n.dist.to_bits()))
+                        .collect::<Vec<_>>(),
+                ));
+                if report.is_complete() {
+                    // Complete coverage ⇒ bit-exact agreement with the
+                    // fault-free reference.
+                    let expect = reference.search("v", q, &sp).unwrap();
+                    assert_eq!(report.neighbors, expect, "step {step}");
+                    completed += 1;
+                } else {
+                    degraded += 1;
+                }
+            }
+        }
+    }
+    transcript.push(format!(
+        "summary: completed={completed} degraded={degraded} virtual={}us sent={} dropped={}",
+        net.virtual_time().as_micros(),
+        net.stats().sent,
+        net.stats().dropped,
+    ));
+    assert!(completed > 30, "chaos schedule too harsh: only {completed} complete searches");
+    transcript
+}
+
+/// Seeded chaos: 200 mixed operations under a fixed fault schedule. Every
+/// completed search equals the fault-free reference, and the entire
+/// transcript is bit-identical across two runs with the same seed.
+#[test]
+fn seeded_chaos_is_deterministic_and_correct() {
+    let a = chaos_run(4242);
+    let b = chaos_run(4242);
+    assert_eq!(a, b, "same seed must give a bit-identical transcript");
+    let c = chaos_run(4243);
+    assert_ne!(a, c, "different seed should explore a different schedule");
+}

@@ -91,6 +91,27 @@ fn hnsw_ef64_recall_at_10_floor() {
 }
 
 #[test]
+fn nsg_ef64_recall_at_10_floor() {
+    // NSG at its default out-degree bound (R=32) and the same modest beam
+    // width as HNSW. The parameters are pinned explicitly so a silent
+    // default change also trips the floor.
+    // Measured ~0.86 on this workload.
+    let sp = SearchParams { k: K, ef: 64, ..Default::default() };
+    let r = recall_at_10_with("NSG", &sp, |p| p.nsg_out_degree = 32);
+    assert!(r >= FLOOR, "NSG R=32 ef=64 recall@10 regressed: {r:.3} < {FLOOR}");
+}
+
+#[test]
+fn annoy_8trees_search_nodes_1024_recall_at_10_floor() {
+    // Annoy with its default forest (8 trees) inspecting 1024 candidate
+    // leaves. Measured 1.000 on this workload; 0.90 leaves room for
+    // projection jitter while catching split/priority regressions.
+    let sp = SearchParams { k: K, search_nodes: 1024, ..Default::default() };
+    let r = recall_at_10_with("ANNOY", &sp, |p| p.annoy_n_trees = 8);
+    assert!(r >= 0.90, "ANNOY trees=8 search_nodes=1024 recall@10 regressed: {r:.3} < 0.90");
+}
+
+#[test]
 fn dataset_is_deterministic() {
     // The regression floor is only meaningful if the workload is pinned:
     // two independent generations must be bit-identical.
