@@ -230,21 +230,24 @@ impl Collection {
             trace.record_with(obs::SpanKind::Route, t, |sp| sp.rows_scanned = nsegs as u64);
 
             // Fan segment scans out across the global pool. `&mut Trace`
-            // stays on this thread: tasks capture wall-clock windows (only
-            // when the trace is live) and spans are recorded after the join,
-            // in segment order.
-            let trace_on = trace.enabled();
-            let scans = Executor::global().scoped_map(nsegs, |si| {
+            // stays on this thread: the timed fan-out captures per-task
+            // executor milestones (only when the trace is live) and spans
+            // are recorded after the join, in segment order — queue wait
+            // separate from scan run time, so the profiler can tell
+            // saturation from slow scans.
+            let scans = traced_fan_out(nsegs, trace.enabled(), |si| {
                 let seg = &snap.segments[si];
-                let start = trace_on.then(Instant::now);
                 let out = seg.search_field_stats(&self.schema, field, query, params, None);
-                (seg.id, out, start.zip(trace_on.then(Instant::now)))
+                (seg.id, out)
             });
             let mut lists = Vec::with_capacity(nsegs);
-            for (seg_id, out, window) in scans {
+            for ((seg_id, out), timing) in scans {
                 let (list, stats) = out?;
-                if let Some((start, end)) = window {
-                    trace.record_window(obs::SpanKind::SegmentScan, start, end, |sp| {
+                if let Some(t) = timing {
+                    trace.record_window(obs::SpanKind::QueueWait, t.enqueued, t.started, |sp| {
+                        sp.segment_id = seg_id as i64;
+                    });
+                    trace.record_window(obs::SpanKind::SegmentScan, t.started, t.finished, |sp| {
                         sp.segment_id = seg_id as i64;
                         sp.rows_scanned = stats.rows_scanned;
                     });
@@ -330,9 +333,12 @@ impl Collection {
 
             // Per-segment filter + scan, fanned out on the global pool; span
             // windows come back with each task and are recorded post-join in
-            // segment order (same pattern as `search_traced`).
+            // segment order (same pattern as `search_traced`). The filter/
+            // scan sub-windows are measured inside the task; the executor
+            // queue wait comes from the timed fan-out so it never inflates
+            // either stage.
             let trace_on = trace.enabled();
-            let scans = Executor::global().scoped_map(nsegs, |si| {
+            let scans = traced_fan_out(nsegs, trace_on, |si| {
                 let seg = &snap.segments[si];
                 let f_start = trace_on.then(Instant::now);
                 let column = &seg.data().attributes[ai];
@@ -383,7 +389,12 @@ impl Collection {
                 (seg.id, passing, f_window, Some((list, scanned, s_window)))
             });
             let mut lists = Vec::with_capacity(nsegs);
-            for (seg_id, passing, f_window, scan) in scans {
+            for ((seg_id, passing, f_window, scan), timing) in scans {
+                if let Some(t) = timing {
+                    trace.record_window(obs::SpanKind::QueueWait, t.enqueued, t.started, |sp| {
+                        sp.segment_id = seg_id as i64;
+                    });
+                }
                 if let Some((start, end)) = f_window {
                     trace.record_window(obs::SpanKind::Filter, start, end, |sp| {
                         sp.segment_id = seg_id as i64;
@@ -550,6 +561,40 @@ impl Collection {
             &self.config.build_params,
             with_fusion,
         )?)
+    }
+
+    /// Run one search under a forced trace and render its per-stage
+    /// breakdown as an `EXPLAIN ANALYZE`-style report. The trace bypasses
+    /// the sampler and also feeds the query profiler.
+    pub fn explain_analyze(
+        &self,
+        field: &str,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> Result<String> {
+        let mut trace = obs::Trace::forced("search", &self.trace_label);
+        let result = self.search_traced(field, query, params, &mut trace);
+        let finished = trace.finish_always();
+        result?;
+        Ok(finished.map(|t| obs::explain_report(&t)).unwrap_or_default())
+    }
+}
+
+/// Fan `f` out on the global executor, returning per-task timings only when
+/// the query is traced — the untraced hot path stays clock-free.
+fn traced_fan_out<R: Send>(
+    n: usize,
+    trace_on: bool,
+    f: impl Fn(usize) -> R + Sync,
+) -> Vec<(R, Option<milvus_exec::TaskTiming>)> {
+    if trace_on {
+        Executor::global()
+            .scoped_map_timed(n, f)
+            .into_iter()
+            .map(|(r, t)| (r, Some(t)))
+            .collect()
+    } else {
+        Executor::global().scoped_map(n, f).into_iter().map(|r| (r, None)).collect()
     }
 }
 

@@ -135,6 +135,56 @@ impl Milvus {
     pub fn slow_queries(&self) -> Vec<Arc<milvus_obs::FinishedTrace>> {
         milvus_obs::slow_query_log().snapshot()
     }
+
+    /// Record one flight-recorder frame (a full metrics snapshot stamped
+    /// with process uptime) and return its timestamp in microseconds.
+    /// Production deployments call this on a timer (or use
+    /// [`milvus_obs::FlightRecorder::start_periodic`]); tests call it at
+    /// chosen points so every window boundary is deterministic.
+    pub fn tick_timeseries(&self) -> u64 {
+        milvus_obs::flight_recorder().tick()
+    }
+
+    /// Record a flight-recorder frame with an explicit timestamp — the
+    /// virtual-clock entry point for SimNet-driven tests
+    /// (`m.tick_timeseries_at(net.virtual_time().as_micros() as u64)`).
+    pub fn tick_timeseries_at(&self, at_us: u64) {
+        milvus_obs::flight_recorder().tick_at(at_us);
+    }
+
+    /// The windowed time-series view over the recorded frames: per-window
+    /// counter deltas and rates, gauge trajectories, and windowed
+    /// p50/p95/p99 derived from histogram bucket diffs (the programmatic
+    /// twin of `GET /debug/timeseries`).
+    pub fn timeseries(&self) -> milvus_obs::TimeSeriesReport {
+        milvus_obs::flight_recorder().report()
+    }
+
+    /// Per-collection, per-stage time breakdown aggregated from every
+    /// sampled query trace (the programmatic twin of `GET /debug/profile`).
+    pub fn profile(&self) -> milvus_obs::ProfileReport {
+        milvus_obs::query_profiler().report()
+    }
+
+    /// Component health (executor saturation, transport link state,
+    /// bufferpool pressure, search coverage) computed from the live metrics
+    /// against the newest recorded frame — the "current open window". With
+    /// no recorded frame the entire metric history counts as in-window (the
+    /// programmatic twin of `GET /health`).
+    pub fn health(&self) -> milvus_obs::HealthReport {
+        let live = milvus_obs::registry().snapshot();
+        let baseline = milvus_obs::flight_recorder().newest();
+        milvus_obs::compute_health(
+            &live,
+            baseline.as_deref().map(|f| &f.snapshot),
+            &milvus_obs::health_thresholds(),
+        )
+    }
+
+    /// Replace the process-wide health thresholds.
+    pub fn configure_health(&self, thresholds: milvus_obs::HealthThresholds) {
+        milvus_obs::set_health_thresholds(thresholds);
+    }
 }
 
 #[cfg(test)]

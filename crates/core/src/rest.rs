@@ -15,9 +15,14 @@
 //! | `POST /collections/{name}/entities/delete` | `{ids}` | delete |
 //! | `POST /collections/{name}/flush` | — | flush barrier (§5.1) |
 //! | `POST /collections/{name}/search` | `{vector, k, nprobe?, ef?, filter?}` | vector / filtered query |
+//! | `POST /collections/{name}/explain` | `{vector, k, nprobe?, ef?}` | search under a forced trace; returns an `EXPLAIN ANALYZE` report |
 //! | `POST /collections/{name}/index` | `{field?, index_type}` | build index |
 //! | `GET /metrics` | — | Prometheus text exposition of all metric series |
 //! | `GET /debug/slow_queries` | — | recent slow queries with per-segment spans |
+//! | `GET /debug/timeseries` | — | flight-recorder windows: per-series deltas, rates, windowed p50/p95/p99 |
+//! | `POST /debug/timeseries/tick` | — | record a flight-recorder frame now |
+//! | `GET /debug/profile` | — | per-collection per-stage time breakdown from sampled traces |
+//! | `GET /health` | — | component health (ok/degraded/unhealthy); 503 when unhealthy |
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -176,6 +181,102 @@ fn trace_to_json(t: &milvus_obs::FinishedTrace) -> Value {
     })
 }
 
+fn series_key_json(obj: &mut serde::Map, key: &milvus_obs::Key) {
+    obj.insert("name".into(), key.name.clone().into());
+    obj.insert("collection".into(), key.label.clone().into());
+    if let Some(seg) = key.segment {
+        obj.insert("segment".into(), seg.into());
+    }
+}
+
+/// `GET /debug/timeseries` body: the recorded window boundaries plus, for
+/// every live series, its last value and its delta/rate (counters) or
+/// windowed count + p50/p95/p99 (histograms) over the most recent window.
+fn timeseries_to_json(r: &milvus_obs::TimeSeriesReport) -> Value {
+    let newest = r.frames.last();
+    let previous = r.frames.len().checked_sub(2).and_then(|i| r.frames.get(i));
+    let window_us = r.window_us(1);
+
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    if let Some(newest) = newest {
+        for (key, &value) in &newest.snapshot.counters {
+            let delta = value
+                .saturating_sub(previous.map_or(0, |p| p.snapshot.counters.get(key).copied().unwrap_or(0)));
+            let mut obj = serde::Map::new();
+            series_key_json(&mut obj, key);
+            obj.insert("value".into(), value.into());
+            obj.insert("window_delta".into(), delta.into());
+            let rate = if window_us == 0 { 0.0 } else { delta as f64 / (window_us as f64 / 1e6) };
+            obj.insert("rate_per_sec".into(), rate.into());
+            counters.push(Value::Object(obj));
+        }
+        for (key, &value) in &newest.snapshot.gauges {
+            let mut obj = serde::Map::new();
+            series_key_json(&mut obj, key);
+            obj.insert("value".into(), value.into());
+            gauges.push(Value::Object(obj));
+        }
+        for (key, hist) in &newest.snapshot.histograms {
+            let windowed = match previous.and_then(|p| p.snapshot.histograms.get(key)) {
+                Some(earlier) => hist.saturating_diff(earlier),
+                None => hist.clone(),
+            };
+            let mut obj = serde::Map::new();
+            series_key_json(&mut obj, key);
+            obj.insert("count".into(), hist.count.into());
+            obj.insert("window_count".into(), windowed.count.into());
+            obj.insert("window_p50_us".into(), windowed.p50_us().into());
+            obj.insert("window_p95_us".into(), windowed.p95_us().into());
+            obj.insert("window_p99_us".into(), windowed.p99_us().into());
+            obj.insert("window_mean_us".into(), windowed.mean_us().into());
+            histograms.push(Value::Object(obj));
+        }
+    }
+    json!({
+        "windows": r.windows(),
+        "capacity": r.capacity,
+        "from_us": r.frames.first().map_or(0, |f| f.at_us),
+        "to_us": newest.map_or(0, |f| f.at_us),
+        "window_us": window_us,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    })
+}
+
+fn profile_to_json(r: &milvus_obs::ProfileReport) -> Value {
+    json!({
+        "ops": r.ops.iter().map(|op| json!({
+            "collection": op.collection.clone(),
+            "op": op.op,
+            "queries": op.queries,
+            "total_latency_us": op.total_latency_us,
+            "mean_latency_us": op.mean_latency_us(),
+            "dropped_spans": op.dropped_spans,
+            "stages_total_us": op.stages_total_us(),
+            "stages": op.stages.iter().map(|s| json!({
+                "stage": s.kind.as_str(),
+                "spans": s.spans,
+                "total_us": s.total_us,
+                "mean_us": s.mean_us(),
+            })).collect::<Vec<_>>(),
+        })).collect::<Vec<_>>(),
+    })
+}
+
+fn health_to_json(r: &milvus_obs::HealthReport) -> Value {
+    json!({
+        "status": r.status.as_str(),
+        "components": r.components.iter().map(|c| json!({
+            "component": c.component,
+            "status": c.status.as_str(),
+            "reason": c.reason.clone(),
+        })).collect::<Vec<_>>(),
+    })
+}
+
 struct CreateCollectionReq {
     name: String,
     dim: usize,
@@ -300,6 +401,30 @@ fn route(milvus: &Milvus, method: &str, path: &str, body: &[u8]) -> (&'static st
                     "slow_queries": traces.iter().map(|t| trace_to_json(t)).collect::<Vec<_>>(),
                 }),
             )
+        }
+
+        ("GET", ["debug", "timeseries"]) => {
+            // Serves whatever frames exist; recording is explicit (the tick
+            // endpoint, `Milvus::tick_timeseries`, or a periodic driver) so
+            // scrapes never perturb window boundaries.
+            ("200 OK", timeseries_to_json(&milvus.timeseries()))
+        }
+
+        ("POST", ["debug", "timeseries", "tick"]) => {
+            let at_us = milvus.tick_timeseries();
+            ("200 OK", json!({ "ticked_at_us": at_us }))
+        }
+
+        ("GET", ["debug", "profile"]) => ("200 OK", profile_to_json(&milvus.profile())),
+
+        ("GET", ["health"]) => {
+            let report = milvus.health();
+            let status = if report.status == milvus_obs::HealthStatus::Unhealthy {
+                "503 Service Unavailable"
+            } else {
+                "200 OK"
+            };
+            (status, health_to_json(&report))
         }
 
         ("POST", ["collections"]) => {
@@ -427,6 +552,29 @@ fn route(milvus: &Milvus, method: &str, path: &str, body: &[u8]) -> (&'static st
                             .collect::<Vec<_>>()
                     }),
                 ),
+                Err(e) => err("400 Bad Request", e),
+            }
+        }
+
+        ("POST", ["collections", name, "explain"]) => {
+            let col = match milvus.collection(name) {
+                Ok(c) => c,
+                Err(e) => return err("404 Not Found", e),
+            };
+            let req: SearchReq = match serde_json::from_slice(body) {
+                Ok(r) => r,
+                Err(e) => return err("400 Bad Request", e),
+            };
+            let mut sp = SearchParams::top_k(req.k);
+            if let Some(np) = req.nprobe {
+                sp.nprobe = np;
+            }
+            if let Some(ef) = req.ef {
+                sp.ef = ef;
+            }
+            let field = col.schema().vector_fields[0].name.clone();
+            match col.explain_analyze(&field, &req.vector, &sp) {
+                Ok(report) => ("200 OK", json!({ "report": report })),
                 Err(e) => err("400 Bad Request", e),
             }
         }
@@ -602,6 +750,77 @@ mod tests {
             text.contains(r#"milvus_ingest_rows_total{collection="obs_rest"} 1"#),
             "{text}"
         );
+    }
+
+    #[test]
+    fn observability_endpoints_serve_well_formed_json() {
+        let (_server, addr) = server();
+        http(addr, "POST", "/collections", r#"{"name":"obs_ep","dim":2,"metric":"L2"}"#);
+        http(
+            addr,
+            "POST",
+            "/collections/obs_ep/entities",
+            r#"{"ids":[1,2],"vectors":[[0.0,0.0],[1.0,1.0]]}"#,
+        );
+        http(addr, "POST", "/collections/obs_ep/flush", "");
+
+        // Two frames bracketing a search define one window.
+        let (status, body) = http(addr, "POST", "/debug/timeseries/tick", "");
+        assert!(status.contains("200"), "{status}");
+        assert!(body["ticked_at_us"].as_u64().is_some(), "{body}");
+        http(addr, "POST", "/collections/obs_ep/search", r#"{"vector":[0.4,0.4],"k":1}"#);
+        http(addr, "POST", "/debug/timeseries/tick", "");
+
+        let (status, body) = http(addr, "GET", "/debug/timeseries", "");
+        assert!(status.contains("200"), "{status}");
+        assert!(body["windows"].as_u64().unwrap_or(0) >= 2, "{body}");
+        let counters = body["counters"].as_array().expect("counters array");
+        let qt = counters
+            .iter()
+            .find(|c| c["name"] == "milvus_query_total" && c["collection"] == "obs_ep")
+            .unwrap_or_else(|| panic!("query_total series missing: {body}"));
+        assert_eq!(qt["window_delta"], 1, "{qt}");
+        let hists = body["histograms"].as_array().expect("histograms array");
+        assert!(
+            hists.iter().any(|h| h["name"] == "milvus_query_latency_seconds"
+                && h["collection"] == "obs_ep"
+                && h["window_count"] == 1),
+            "{body}"
+        );
+
+        // Profile: the sampled search must appear with a segment_scan stage.
+        let (status, body) = http(addr, "GET", "/debug/profile", "");
+        assert!(status.contains("200"), "{status}");
+        let ops = body["ops"].as_array().expect("ops array");
+        let op = ops
+            .iter()
+            .find(|o| o["collection"] == "obs_ep" && o["op"] == "search")
+            .unwrap_or_else(|| panic!("profile entry missing: {body}"));
+        assert!(op["queries"].as_u64().unwrap_or(0) >= 1, "{op}");
+        let stages = op["stages"].as_array().expect("stages array");
+        assert!(stages.iter().any(|s| s["stage"] == "segment_scan"), "{op}");
+
+        // Health: a healthy single-node process reports ok with all four
+        // components present.
+        let (status, body) = http(addr, "GET", "/health", "");
+        assert!(status.contains("200"), "{status}: {body}");
+        assert_eq!(body["status"], "ok", "{body}");
+        let components = body["components"].as_array().expect("components array");
+        let names: Vec<&str> =
+            components.iter().filter_map(|c| c["component"].as_str()).collect();
+        assert_eq!(names, vec!["executor", "transport", "bufferpool", "search"], "{body}");
+
+        // EXPLAIN ANALYZE over REST.
+        let (status, body) = http(
+            addr,
+            "POST",
+            "/collections/obs_ep/explain",
+            r#"{"vector":[0.4,0.4],"k":1}"#,
+        );
+        assert!(status.contains("200"), "{status}: {body}");
+        let report = body["report"].as_str().expect("report text");
+        assert!(report.starts_with("EXPLAIN ANALYZE op=search"), "{report}");
+        assert!(report.contains("segment_scan"), "{report}");
     }
 
     #[test]

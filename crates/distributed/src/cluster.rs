@@ -52,6 +52,8 @@ pub struct Cluster {
     reader_cache_bytes: usize,
     transport: Arc<dyn Transport>,
     retry: RwLock<RetryPolicy>,
+    /// Label cluster-level traces and metrics are recorded under.
+    trace_label: Arc<str>,
 }
 
 impl Cluster {
@@ -93,6 +95,7 @@ impl Cluster {
             reader_cache_bytes: 256 << 20,
             transport,
             retry: RwLock::new(RetryPolicy::default()),
+            trace_label: Arc::from("cluster"),
         };
         for _ in 0..readers {
             cluster.add_reader()?;
@@ -252,6 +255,9 @@ impl Cluster {
         query: &[f32],
         params: &SearchParams,
     ) -> StorageResult<SearchReport> {
+        obs::counter(obs::QUERY_TOTAL, "cluster").inc();
+        let _latency = obs::span(obs::QUERY_LATENCY, "cluster");
+        let mut trace = obs::Trace::start("search", &self.trace_label);
         let epoch = self.coordinator.epoch();
         let readers = self.readers.read().clone();
         let retry = self.retry();
@@ -264,16 +270,24 @@ impl Cluster {
             // A reader that missed a flush/membership refresh catches up
             // from shared storage before serving (read-your-writes after
             // heal); failure to catch up counts as a failed reader.
+            let t0 = trace.begin();
             let res = rpc(t, NodeId::Client, NodeId::Reader(r.id), "search", &retry, true, || {
                 r.catch_up(epoch)?;
                 r.search(field, query, params)
             });
             match res {
                 Ok(list) => {
+                    trace.record_with(obs::SpanKind::Rpc, t0, |sp| {
+                        sp.shard = r.id as i64;
+                        sp.rows_scanned = list.len() as u64;
+                    });
                     lists.push(list);
                     survivors.push(Arc::clone(r));
                 }
                 Err(_) => {
+                    // The span covers the whole exhausted retry/backoff
+                    // sequence — what the profiler attributes to the network.
+                    trace.record_with(obs::SpanKind::NetRetry, t0, |sp| sp.shard = r.id as i64);
                     failed_readers.push(r.id);
                     orphan_shards.extend(r.assigned_shards());
                 }
@@ -287,6 +301,7 @@ impl Cluster {
         let mut failover_shards = Vec::new();
         let mut uncovered_shards = Vec::new();
         for (i, &shard) in orphan_shards.iter().enumerate() {
+            let t0 = trace.begin();
             let mut recovered = false;
             for j in 0..survivors.len() {
                 let s = &survivors[(i + j) % survivors.len()];
@@ -307,15 +322,31 @@ impl Cluster {
                     break;
                 }
             }
+            trace.record_with(obs::SpanKind::Failover, t0, |sp| sp.shard = shard as i64);
             if !recovered {
                 uncovered_shards.push(shard);
             }
         }
+
+        // Coverage telemetry: how much of the key space this answer actually
+        // saw. The gauge reflects the *most recent* search (ppm of shards
+        // covered); the counter accumulates degraded answers for windowed
+        // rates, and both feed the health endpoint.
+        let shards_total = self.coordinator.shards().max(1);
+        let covered = shards_total - uncovered_shards.len().min(shards_total);
+        obs::gauge(obs::SEARCH_COVERAGE_RATIO, "cluster")
+            .set((covered as u64 * 1_000_000 / shards_total as u64) as i64);
         if !uncovered_shards.is_empty() {
             obs::counter(obs::QUERY_ERRORS, "cluster").inc();
+            obs::counter(obs::SEARCH_DEGRADED, "cluster").inc();
         }
+
+        let t0 = trace.begin();
+        let neighbors = milvus_storage::segment::merge_segment_results(&lists, params.k);
+        trace.record(obs::SpanKind::HeapMerge, t0);
+        trace.finish();
         Ok(SearchReport {
-            neighbors: milvus_storage::segment::merge_segment_results(&lists, params.k),
+            neighbors,
             failed_readers,
             failover_shards,
             uncovered_shards,

@@ -266,6 +266,13 @@ impl SimNet {
     }
 
     fn new_link(&self, from: NodeId, to: NodeId) -> LinkState {
+        // Register the link as healthy the moment it first carries traffic,
+        // so the `milvus_net_link_up` gauge family covers *every* active
+        // link — the health model's "N/M links down" denominator would
+        // otherwise only count links that had already faulted.
+        let label = link_label(from, to);
+        obs::gauge(obs::NET_LINK_UP, &label).set(1);
+        obs::gauge(obs::NET_LINK_LOSS_PPM, &label).set(0);
         LinkState {
             plan: FaultPlan::default(),
             rng: StdRng::seed_from_u64(self.seed ^ ring_hash(&(from, to))),
@@ -289,9 +296,12 @@ impl SimNet {
     /// Replace the whole fault schedule of the directed link `from → to`.
     pub fn set_plan(&self, from: NodeId, to: NodeId, plan: FaultPlan) {
         let label = link_label(from, to);
-        obs::gauge(obs::NET_LINK_UP, &label).set(i64::from(!plan.partitioned));
-        obs::gauge(obs::NET_LINK_LOSS_PPM, &label).set((plan.loss * 1e6) as i64);
+        let (up, loss_ppm) = (i64::from(!plan.partitioned), (plan.loss * 1e6) as i64);
         self.with_link(from, to, |l| l.plan = plan);
+        // Gauges are written after `with_link`: creating a fresh link
+        // initialises them to healthy and must not win over the plan.
+        obs::gauge(obs::NET_LINK_UP, &label).set(up);
+        obs::gauge(obs::NET_LINK_LOSS_PPM, &label).set(loss_ppm);
     }
 
     /// Cut both directions between `a` and `b` (full partition).
@@ -303,15 +313,15 @@ impl SimNet {
     /// Cut only `from → to` (asymmetric partition: requests lost, responses
     /// fine, or vice versa).
     pub fn partition_oneway(&self, from: NodeId, to: NodeId) {
-        obs::gauge(obs::NET_LINK_UP, &link_label(from, to)).set(0);
         self.with_link(from, to, |l| l.plan.partitioned = true);
+        obs::gauge(obs::NET_LINK_UP, &link_label(from, to)).set(0);
     }
 
     /// Set the loss probability of `from → to`.
     pub fn set_loss(&self, from: NodeId, to: NodeId, p: f64) {
         let p = p.clamp(0.0, 1.0);
-        obs::gauge(obs::NET_LINK_LOSS_PPM, &link_label(from, to)).set((p * 1e6) as i64);
         self.with_link(from, to, |l| l.plan.loss = p);
+        obs::gauge(obs::NET_LINK_LOSS_PPM, &link_label(from, to)).set((p * 1e6) as i64);
     }
 
     /// Set the duplicate-delivery probability of `from → to`.

@@ -41,7 +41,7 @@ use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use milvus_obs as obs;
 use parking_lot::{Condvar, Mutex};
@@ -381,6 +381,73 @@ impl Executor {
         }
         slots.into_iter().map(|r| r.expect("scoped task completed")).collect()
     }
+
+    /// [`Executor::scoped_map`] plus a per-task [`TaskTiming`]: when each
+    /// task was enqueued, when a worker started it, and when it finished.
+    /// Queue wait (`started - enqueued`) and run time are thereby separable
+    /// by observability code; the plain `scoped_map` stays clock-free for
+    /// callers that do not need timings. Inline execution (`n <= 1`) reports
+    /// a zero queue wait (`enqueued == started`).
+    pub fn scoped_map_timed<R, F>(&self, n: usize, f: F) -> Vec<(R, TaskTiming)>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            let enqueued = Instant::now();
+            let value = f(0);
+            let finished = Instant::now();
+            return vec![(value, TaskTiming { enqueued, started: enqueued, finished })];
+        }
+        let mut slots: Vec<Option<(R, TaskTiming)>> = (0..n).map(|_| None).collect();
+        {
+            let base = SendPtr(slots.as_mut_ptr());
+            let f = &f;
+            self.scope(|s| {
+                for i in 0..n {
+                    let enqueued = Instant::now();
+                    s.spawn(move || {
+                        let started = Instant::now();
+                        let value = f(i);
+                        let finished = Instant::now();
+                        // Safety: each task writes exactly one distinct slot,
+                        // and the scope joins before `slots` is touched again.
+                        unsafe {
+                            *base.slot(i) = Some((value, TaskTiming { enqueued, started, finished }))
+                        };
+                    });
+                }
+            });
+        }
+        slots.into_iter().map(|r| r.expect("scoped task completed")).collect()
+    }
+}
+
+/// Wall-clock milestones of one fanned-out task, captured by
+/// [`Executor::scoped_map_timed`].
+#[derive(Debug, Clone, Copy)]
+pub struct TaskTiming {
+    /// When the task was pushed onto the pool.
+    pub enqueued: Instant,
+    /// When a worker (or a helping joiner) began executing it.
+    pub started: Instant,
+    /// When the task body returned.
+    pub finished: Instant,
+}
+
+impl TaskTiming {
+    /// Time spent queued before execution began.
+    pub fn queue_wait(&self) -> Duration {
+        self.started.saturating_duration_since(self.enqueued)
+    }
+
+    /// Time the task body ran.
+    pub fn run_time(&self) -> Duration {
+        self.finished.saturating_duration_since(self.started)
+    }
 }
 
 impl Drop for Executor {
@@ -484,6 +551,29 @@ mod tests {
         let data = [1u64, 2, 3, 4, 5];
         let sums = pool.scoped_map(data.len(), |i| data[i] * 10);
         assert_eq!(sums, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn timed_map_matches_plain_map_and_orders_milestones() {
+        let pool = Executor::new("t_timed", 2);
+        let out = pool.scoped_map_timed(8, |i| {
+            std::thread::sleep(Duration::from_millis(2));
+            i * 3
+        });
+        assert_eq!(out.iter().map(|(v, _)| *v).collect::<Vec<_>>(), (0..8).map(|i| i * 3).collect::<Vec<_>>());
+        for (_, t) in &out {
+            assert!(t.started >= t.enqueued, "started before enqueue");
+            assert!(t.finished >= t.started, "finished before start");
+            assert!(t.run_time() >= Duration::from_millis(1), "run_time={:?}", t.run_time());
+        }
+        // With 8 tasks on 2 workers, at least one task waited in queue while
+        // earlier tasks held both workers.
+        let waited = out.iter().filter(|(_, t)| t.queue_wait() > Duration::ZERO).count();
+        assert!(waited >= 1, "no task ever queued");
+        // Inline path: n == 1 reports zero queue wait.
+        let one = pool.scoped_map_timed(1, |i| i);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].1.queue_wait(), Duration::ZERO);
     }
 
     #[test]

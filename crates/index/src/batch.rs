@@ -371,12 +371,26 @@ pub fn cache_aware_search_exec_traced(
         let block_len = block_end - block_start;
         let t_block = trace.begin();
 
-        let per_thread: Vec<Vec<TopK>> = exec.scoped_map(t, |r| {
+        let range_scan = |r: usize| {
             let (lo, hi) = (bounds[r], bounds[r + 1]);
             let mut heaps: Vec<TopK> = (0..block_len).map(|_| TopK::new(k)).collect();
             scan_range_into_heaps(&kern, data, ids, lo..hi, queries, block_start, &mut heaps);
             heaps
-        });
+        };
+        // When traced, the timed fan-out exposes how long the block's range
+        // tasks sat queued; the worst wait becomes one QueueWait span so the
+        // profiler separates executor saturation from scan time without
+        // recording `t` spans per block. The untraced path stays clock-free.
+        let per_thread: Vec<Vec<TopK>> = if trace.enabled() {
+            let timed = exec.scoped_map_timed(t, range_scan);
+            let wait = timed.iter().map(|(_, timing)| *timing).max_by_key(|w| w.queue_wait());
+            if let Some(wait) = wait {
+                trace.record_window(obs::SpanKind::QueueWait, wait.enqueued, wait.started, |_| {});
+            }
+            timed.into_iter().map(|(heaps, _)| heaps).collect()
+        } else {
+            exec.scoped_map(t, range_scan)
+        };
         trace.record_with(obs::SpanKind::BatchScan, t_block, |sp| {
             sp.rows_scanned = (block_len as u64) * (n as u64);
         });

@@ -26,9 +26,22 @@
 //! so absolute values are only meaningful for collection-labeled series the
 //! test owns).
 
+mod health;
+mod profile;
+mod recorder;
 mod render;
 mod trace;
 
+pub use health::{
+    compute_health, health_thresholds, set_health_thresholds, ComponentHealth, HealthReport,
+    HealthStatus, HealthThresholds,
+};
+pub use profile::{
+    explain_report, query_profiler, OpProfile, ProfileReport, QueryProfiler, StageProfile,
+};
+pub use recorder::{
+    flight_recorder, uptime_us, FlightRecorder, RecorderDriver, TimeSeriesReport, WindowFrame,
+};
 pub use render::render_prometheus;
 pub use trace::{
     set_trace_config, slow_query_log, slow_threshold_us, trace_config, CacheOutcome,
@@ -226,6 +239,24 @@ impl HistogramSnapshot {
             0.0
         } else {
             self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// The histogram of observations recorded between `earlier` and `self`
+    /// (`self` being the newer snapshot): per-bucket, sum and count
+    /// saturating differences. A series that reset between the snapshots
+    /// clamps to zero instead of underflowing; missing buckets (an empty
+    /// default snapshot) count as zero. This is what windowed p50/p95/p99
+    /// in the flight recorder are computed from.
+    pub fn saturating_diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let n = self.bucket_counts.len().max(earlier.bucket_counts.len());
+        let at = |v: &[u64], i: usize| v.get(i).copied().unwrap_or(0);
+        HistogramSnapshot {
+            bucket_counts: (0..n)
+                .map(|i| at(&self.bucket_counts, i).saturating_sub(at(&earlier.bucket_counts, i)))
+                .collect(),
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+            count: self.count.saturating_sub(earlier.count),
         }
     }
 }
@@ -535,6 +566,12 @@ pub const NET_LINK_LOSS_PPM: &str = "milvus_net_link_loss_ppm";
 /// Accumulated virtual time (timeouts, backoff, injected delays) of a
 /// simulated network, in microseconds.
 pub const NET_VIRTUAL_TIME_US: &str = "milvus_net_virtual_time_us";
+/// Distributed searches that completed with at least one uncovered shard
+/// (per cluster).
+pub const SEARCH_DEGRADED: &str = "milvus_search_degraded_total";
+/// Shard coverage of the most recent distributed search, in parts per
+/// million (1_000_000 = every shard contributed results).
+pub const SEARCH_COVERAGE_RATIO: &str = "milvus_search_coverage_ratio";
 
 // ---------------------------------------------------------------------------
 // Declared metric families: name, type and HELP text. The Prometheus render
@@ -617,6 +654,8 @@ pub const FAMILIES: &[FamilyDesc] = &[
     FamilyDesc { name: QUERY_NPROBE_EFFECTIVE, kind: MetricKind::Counter, help: "Effective nprobe used by IVF searches." },
     FamilyDesc { name: QUERY_TOTAL, kind: MetricKind::Counter, help: "Queries served." },
     FamilyDesc { name: READER_REFRESHES, kind: MetricKind::Counter, help: "Distributed reader refreshes." },
+    FamilyDesc { name: SEARCH_COVERAGE_RATIO, kind: MetricKind::Gauge, help: "Shard coverage of the most recent distributed search in parts per million (1000000 = full coverage)." },
+    FamilyDesc { name: SEARCH_DEGRADED, kind: MetricKind::Counter, help: "Distributed searches that completed with at least one uncovered shard." },
     FamilyDesc { name: SEGMENTS, kind: MetricKind::Gauge, help: "Live segment count of the current snapshot." },
     FamilyDesc { name: SLOW_QUERIES, kind: MetricKind::Counter, help: "Queries whose latency exceeded the slow threshold." },
     FamilyDesc { name: TRACE_SPANS, kind: MetricKind::Counter, help: "Spans recorded into sampled traces." },

@@ -1,0 +1,333 @@
+//! Query profiler: aggregates finished traces into per-collection,
+//! per-stage time breakdowns.
+//!
+//! Every *sampled* trace that completes (slow or not) is folded into a
+//! process-global [`QueryProfiler`] keyed by `(collection, op)`. Each entry
+//! accumulates query count, end-to-end latency, and per-[`SpanKind`] span
+//! counts and durations — parse/route/segment_scan/filter/heap_merge/rerank
+//! on the query path, queue_wait from the executor, and rpc/net_retry/
+//! failover attribution from the distributed layer. The report answers
+//! "where does collection X's search time actually go?" without a single
+//! extra clock read on the hot path: the profiler only sees traces the
+//! sampler already admitted, and recording is one short mutex hold at query
+//! completion.
+//!
+//! [`explain_report`] renders a single [`FinishedTrace`] as a human-readable
+//! `EXPLAIN ANALYZE`-style table: stage rollup sorted by total time, then
+//! the raw span timeline. Because segment scans run in parallel on the
+//! executor, stage totals are *CPU-time-like* sums and can legitimately
+//! exceed 100% of wall-clock latency.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::trace::{FinishedTrace, SpanKind};
+
+/// Number of distinct [`SpanKind`]s; sizes the per-op stage arrays.
+const NKINDS: usize = SpanKind::ALL.len();
+
+/// Aggregate for one span kind within one `(collection, op)` entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageProfile {
+    /// The stage.
+    pub kind: SpanKind,
+    /// Spans of this kind observed across all recorded queries.
+    pub spans: u64,
+    /// Total time attributed to this stage, microseconds.
+    pub total_us: u64,
+}
+
+impl StageProfile {
+    /// Mean span duration in microseconds (0 when no spans).
+    pub fn mean_us(&self) -> f64 {
+        if self.spans == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.spans as f64
+        }
+    }
+}
+
+/// Per-`(collection, op)` profile: query volume, end-to-end latency, and
+/// the per-stage breakdown (non-empty stages only, largest total first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Collection label ("" for process-wide ops).
+    pub collection: String,
+    /// Operation name ("search", "filtered_search", ...).
+    pub op: &'static str,
+    /// Sampled queries folded into this entry.
+    pub queries: u64,
+    /// Sum of end-to-end latencies, microseconds.
+    pub total_latency_us: u64,
+    /// Spans dropped because traces overflowed their inline span storage.
+    pub dropped_spans: u64,
+    /// Stages with at least one span, sorted by `total_us` descending.
+    pub stages: Vec<StageProfile>,
+}
+
+impl OpProfile {
+    /// Mean end-to-end latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_latency_us as f64 / self.queries as f64
+        }
+    }
+
+    /// Total microseconds attributed to `kind` (0 when absent).
+    pub fn stage_us(&self, kind: SpanKind) -> u64 {
+        self.stages.iter().find(|s| s.kind == kind).map_or(0, |s| s.total_us)
+    }
+
+    /// Sum of all stage totals. With parallel fan-out this can exceed
+    /// `total_latency_us` (it is CPU-time-like, not wall-clock).
+    pub fn stages_total_us(&self) -> u64 {
+        self.stages.iter().map(|s| s.total_us).sum()
+    }
+}
+
+/// Snapshot of the whole profiler, sorted by `(collection, op)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileReport {
+    /// One entry per `(collection, op)` pair seen since the last clear.
+    pub ops: Vec<OpProfile>,
+}
+
+impl ProfileReport {
+    /// Look up one entry.
+    pub fn op(&self, collection: &str, op: &str) -> Option<&OpProfile> {
+        self.ops.iter().find(|o| o.collection == collection && o.op == op)
+    }
+}
+
+#[derive(Default)]
+struct OpAgg {
+    queries: u64,
+    latency_us: u64,
+    dropped: u64,
+    stage_spans: [u64; NKINDS],
+    stage_us: [u64; NKINDS],
+}
+
+/// Process-global trace aggregator; see the module docs.
+#[derive(Default)]
+pub struct QueryProfiler {
+    inner: Mutex<HashMap<(String, &'static str), OpAgg>>,
+}
+
+impl QueryProfiler {
+    /// Fold one finished trace into the aggregate.
+    pub fn record(&self, trace: &FinishedTrace) {
+        let mut inner = self.inner.lock().expect("profiler lock");
+        let agg = inner
+            .entry((trace.collection.clone(), trace.op))
+            .or_default();
+        agg.queries += 1;
+        agg.latency_us += trace.total_us;
+        agg.dropped += trace.dropped_spans as u64;
+        for span in &trace.spans {
+            let i = span.kind.index();
+            agg.stage_spans[i] += 1;
+            agg.stage_us[i] += span.dur_us;
+        }
+    }
+
+    /// Snapshot the aggregate as a sorted report.
+    pub fn report(&self) -> ProfileReport {
+        let inner = self.inner.lock().expect("profiler lock");
+        let mut ops: Vec<OpProfile> = inner
+            .iter()
+            .map(|((collection, op), agg)| {
+                let mut stages: Vec<StageProfile> = SpanKind::ALL
+                    .iter()
+                    .map(|&kind| StageProfile {
+                        kind,
+                        spans: agg.stage_spans[kind.index()],
+                        total_us: agg.stage_us[kind.index()],
+                    })
+                    .filter(|s| s.spans > 0)
+                    .collect();
+                stages.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.kind.index().cmp(&b.kind.index())));
+                OpProfile {
+                    collection: collection.clone(),
+                    op,
+                    queries: agg.queries,
+                    total_latency_us: agg.latency_us,
+                    dropped_spans: agg.dropped,
+                    stages,
+                }
+            })
+            .collect();
+        ops.sort_by(|a, b| a.collection.cmp(&b.collection).then(a.op.cmp(b.op)));
+        ProfileReport { ops }
+    }
+
+    /// Discard everything recorded so far (tests, `POST /debug/profile/reset`).
+    pub fn clear(&self) {
+        self.inner.lock().expect("profiler lock").clear();
+    }
+}
+
+/// The process-global profiler `Milvus::profile()` and `GET /debug/profile`
+/// read from.
+pub fn query_profiler() -> &'static QueryProfiler {
+    static GLOBAL: OnceLock<QueryProfiler> = OnceLock::new();
+    GLOBAL.get_or_init(QueryProfiler::default)
+}
+
+fn fmt_ms(us: u64) -> String {
+    format!("{:.3}ms", us as f64 / 1e3)
+}
+
+/// Render one finished trace as an `EXPLAIN ANALYZE`-style report: header,
+/// per-stage rollup (sorted by total time), then the span timeline. Stage
+/// percentages are relative to wall-clock latency and can exceed 100% in
+/// aggregate when stages ran in parallel.
+pub fn explain_report(trace: &FinishedTrace) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(&format!(
+        "EXPLAIN ANALYZE op={} collection={:?} total={} spans={}{}\n",
+        trace.op,
+        trace.collection,
+        fmt_ms(trace.total_us),
+        trace.spans.len(),
+        if trace.dropped_spans > 0 {
+            format!(" dropped={}", trace.dropped_spans)
+        } else {
+            String::new()
+        },
+    ));
+
+    let mut spans = [0u64; NKINDS];
+    let mut us = [0u64; NKINDS];
+    for span in &trace.spans {
+        spans[span.kind.index()] += 1;
+        us[span.kind.index()] += span.dur_us;
+    }
+    let mut order: Vec<usize> = (0..NKINDS).filter(|&i| spans[i] > 0).collect();
+    order.sort_by(|&a, &b| us[b].cmp(&us[a]).then(a.cmp(&b)));
+
+    out.push_str("  stage          spans      total       mean  % of query\n");
+    let total = trace.total_us.max(1) as f64;
+    for i in order {
+        let mean = us[i] as f64 / spans[i] as f64;
+        out.push_str(&format!(
+            "  {:<14} {:>5} {:>10} {:>10} {:>10.1}%\n",
+            SpanKind::ALL[i].as_str(),
+            spans[i],
+            fmt_ms(us[i]),
+            format!("{:.3}ms", mean / 1e3),
+            us[i] as f64 / total * 100.0,
+        ));
+    }
+
+    out.push_str("  spans:\n");
+    for (i, span) in trace.spans.iter().enumerate() {
+        out.push_str(&format!(
+            "    #{:<3} {:<14} @{:>8}us {:>8}us",
+            i,
+            span.kind.as_str(),
+            span.start_us,
+            span.dur_us,
+        ));
+        if span.segment_id >= 0 {
+            out.push_str(&format!(" segment={}", span.segment_id));
+        }
+        if span.shard >= 0 {
+            out.push_str(&format!(" shard={}", span.shard));
+        }
+        if span.rows_scanned > 0 {
+            out.push_str(&format!(" rows={}", span.rows_scanned));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Span;
+
+    fn trace(collection: &str, op: &'static str, total_us: u64, spans: Vec<Span>) -> FinishedTrace {
+        FinishedTrace {
+            collection: collection.to_string(),
+            op,
+            seq: 0,
+            total_us,
+            threshold_us: u64::MAX,
+            dropped_spans: 0,
+            spans,
+        }
+    }
+
+    fn span(kind: SpanKind, start_us: u64, dur_us: u64) -> Span {
+        Span { kind, start_us, dur_us, ..Span::default() }
+    }
+
+    #[test]
+    fn aggregates_per_collection_and_stage() {
+        let p = QueryProfiler::default();
+        p.record(&trace(
+            "a",
+            "search",
+            100,
+            vec![span(SpanKind::Parse, 0, 5), span(SpanKind::SegmentScan, 10, 80)],
+        ));
+        p.record(&trace(
+            "a",
+            "search",
+            200,
+            vec![span(SpanKind::SegmentScan, 0, 150), span(SpanKind::QueueWait, 0, 20)],
+        ));
+        p.record(&trace("b", "search", 50, vec![span(SpanKind::HeapMerge, 40, 9)]));
+
+        let r = p.report();
+        assert_eq!(r.ops.len(), 2);
+        let a = r.op("a", "search").expect("entry for a");
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.total_latency_us, 300);
+        assert_eq!(a.stage_us(SpanKind::SegmentScan), 230);
+        assert_eq!(a.stage_us(SpanKind::QueueWait), 20);
+        assert_eq!(a.stage_us(SpanKind::Parse), 5);
+        // Sorted by total descending.
+        assert_eq!(a.stages[0].kind, SpanKind::SegmentScan);
+        assert!((a.mean_latency_us() - 150.0).abs() < 1e-9);
+        let b = r.op("b", "search").expect("entry for b");
+        assert_eq!(b.queries, 1);
+        assert_eq!(b.stages.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let p = QueryProfiler::default();
+        p.record(&trace("x", "search", 10, vec![]));
+        assert_eq!(p.report().ops.len(), 1);
+        p.clear();
+        assert!(p.report().ops.is_empty());
+    }
+
+    #[test]
+    fn explain_report_lists_stages_by_total_time() {
+        let t = trace(
+            "imgs",
+            "search",
+            1_000,
+            vec![
+                span(SpanKind::Parse, 0, 10),
+                span(SpanKind::QueueWait, 20, 40),
+                span(SpanKind::SegmentScan, 60, 900),
+                span(SpanKind::HeapMerge, 960, 30),
+            ],
+        );
+        let text = explain_report(&t);
+        assert!(text.starts_with("EXPLAIN ANALYZE op=search collection=\"imgs\""));
+        let scan = text.find("segment_scan").expect("scan stage listed");
+        let wait = text.find("queue_wait").expect("wait stage listed");
+        assert!(scan < wait, "stages must be sorted by total time:\n{text}");
+        assert!(text.contains("90.0%"), "dominant stage percentage:\n{text}");
+        assert!(text.contains("#2"), "span timeline rendered:\n{text}");
+    }
+}

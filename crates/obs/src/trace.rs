@@ -62,9 +62,43 @@ pub enum SpanKind {
     BatchScan,
     /// A per-field ANN index probe (multi-vector).
     IndexSearch,
+    /// Time a fanned-out task spent queued on the executor before a worker
+    /// picked it up — kept separate from the stage's run time so the
+    /// profiler can distinguish saturation from slow scans.
+    QueueWait,
+    /// One remote call (distributed search fan-out), including transport
+    /// retries and backoff.
+    Rpc,
+    /// A remote call that exhausted its retries and failed.
+    NetRetry,
+    /// Re-fanning one orphaned shard to surviving readers.
+    Failover,
 }
 
 impl SpanKind {
+    /// Every kind, in discriminant order; `ALL[k.index()] == k`.
+    pub const ALL: [SpanKind; 14] = [
+        SpanKind::Other,
+        SpanKind::Parse,
+        SpanKind::Route,
+        SpanKind::SegmentScan,
+        SpanKind::StorageRead,
+        SpanKind::Filter,
+        SpanKind::HeapMerge,
+        SpanKind::Rerank,
+        SpanKind::BatchScan,
+        SpanKind::IndexSearch,
+        SpanKind::QueueWait,
+        SpanKind::Rpc,
+        SpanKind::NetRetry,
+        SpanKind::Failover,
+    ];
+
+    /// Dense index for per-kind aggregation arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Stable lowercase name used in JSON output.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -78,6 +112,10 @@ impl SpanKind {
             SpanKind::Rerank => "rerank",
             SpanKind::BatchScan => "batch_scan",
             SpanKind::IndexSearch => "index_search",
+            SpanKind::QueueWait => "queue_wait",
+            SpanKind::Rpc => "rpc",
+            SpanKind::NetRetry => "net_retry",
+            SpanKind::Failover => "failover",
         }
     }
 }
@@ -373,17 +411,13 @@ impl Trace {
         self.inner.as_ref().map_or(0, |i| i.len)
     }
 
-    /// Complete the trace: if its end-to-end latency exceeds the slow
-    /// threshold for its label, serialize it into the global slow-query ring
-    /// and return it. Fast queries (and disabled traces) return `None`.
-    pub fn finish(mut self) -> Option<Arc<FinishedTrace>> {
-        let inner = self.inner.take()?;
+    /// Shared completion path: build the [`FinishedTrace`], fold it into
+    /// the query profiler (every sampled trace feeds the per-stage
+    /// aggregate, not just slow ones), and — if slow — count it and push it
+    /// into the slow-query ring.
+    fn complete(inner: Box<TraceInner>) -> Arc<FinishedTrace> {
         let total_us = inner.start.elapsed().as_micros() as u64;
         let threshold_us = slow_threshold_us(&inner.label);
-        if total_us <= threshold_us {
-            return None;
-        }
-        registry().counter(SLOW_QUERIES, &inner.label).inc();
         let finished = Arc::new(FinishedTrace {
             collection: inner.label.to_string(),
             op: inner.op,
@@ -393,11 +427,33 @@ impl Trace {
             dropped_spans: inner.dropped,
             spans: inner.spans[..inner.len].to_vec(),
         });
-        let capacity = {
-            config_cell().read().expect("trace config lock").ring_capacity
-        };
-        slow_query_log().push(Arc::clone(&finished), capacity);
-        Some(finished)
+        crate::profile::query_profiler().record(&finished);
+        if finished.is_slow() {
+            registry().counter(SLOW_QUERIES, &inner.label).inc();
+            let capacity = {
+                config_cell().read().expect("trace config lock").ring_capacity
+            };
+            slow_query_log().push(Arc::clone(&finished), capacity);
+        }
+        finished
+    }
+
+    /// Complete the trace: if its end-to-end latency exceeds the slow
+    /// threshold for its label, serialize it into the global slow-query ring
+    /// and return it. Fast queries (and disabled traces) return `None` —
+    /// but every sampled trace, fast or slow, still feeds the profiler.
+    pub fn finish(mut self) -> Option<Arc<FinishedTrace>> {
+        let inner = self.inner.take()?;
+        let finished = Self::complete(inner);
+        finished.is_slow().then_some(finished)
+    }
+
+    /// Complete the trace and return it regardless of latency (`None` only
+    /// for disabled traces). Used by `EXPLAIN ANALYZE`-style tooling that
+    /// wants the breakdown of an arbitrary query.
+    pub fn finish_always(mut self) -> Option<Arc<FinishedTrace>> {
+        let inner = self.inner.take()?;
+        Some(Self::complete(inner))
     }
 }
 
@@ -425,6 +481,12 @@ impl FinishedTrace {
     /// The span that consumed the most time, if any were recorded.
     pub fn hottest_span(&self) -> Option<&Span> {
         self.spans.iter().max_by_key(|s| s.dur_us)
+    }
+
+    /// Whether this query exceeded the slow threshold in force when it
+    /// completed (the ring-admission criterion).
+    pub fn is_slow(&self) -> bool {
+        self.total_us > self.threshold_us
     }
 }
 

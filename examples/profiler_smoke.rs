@@ -1,0 +1,159 @@
+//! Offline CI smoke test for the query profiler: runs a seeded workload
+//! whose latency is dominated by an injected per-segment scan delay, then
+//! asserts that the `/debug/profile` stage breakdown actually accounts for
+//! the measured end-to-end latency — i.e. the profiler's attribution adds
+//! up instead of losing time. Exits non-zero on any failure.
+//!
+//! Run with: `cargo run --release -p milvus-examples --bin profiler_smoke`
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use milvus_core::config::TraceConfig;
+use milvus_core::rest::RestServer;
+use milvus_core::{CollectionConfig, Milvus};
+use milvus_index::traits::SearchParams;
+use milvus_index::{Metric, VectorSet};
+use milvus_storage::{InsertBatch, Schema};
+
+const DIM: usize = 8;
+const QUERIES: u64 = 12;
+const DELAY: Duration = Duration::from_millis(10);
+
+fn check(name: &str, ok: bool, detail: &str) {
+    if ok {
+        println!("  ok   {name}");
+    } else {
+        eprintln!("  FAIL {name}: {detail}");
+        exit(1);
+    }
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    let mut response = String::new();
+    BufReader::new(stream).read_to_string(&mut response).expect("recv");
+    check("GET response is 200", response.starts_with("HTTP/1.1 200"), &response);
+    response.split("\r\n\r\n").nth(1).unwrap_or("").to_string()
+}
+
+fn main() {
+    let milvus = Arc::new(Milvus::new());
+    // Sample every query: the profiler aggregates all sampled traces.
+    milvus.configure_tracing(TraceConfig { sample_rate: 1.0, ..Default::default() });
+
+    let col = milvus
+        .create_collection(
+            "profiler_smoke",
+            Schema::single("v", DIM, Metric::L2),
+            CollectionConfig::for_tests(),
+        )
+        .expect("create collection");
+    let ids: Vec<i64> = (0..500).collect();
+    let mut vs = VectorSet::new(DIM);
+    for &id in &ids {
+        let mut v = [0.0f32; DIM];
+        v[0] = id as f32;
+        v[1] = (id % 13) as f32;
+        vs.push(&v);
+    }
+    col.insert(InsertBatch::single(ids, vs)).expect("insert");
+    col.flush().expect("flush");
+
+    // Every segment scan sleeps DELAY first, so scan time dominates the
+    // query and the expected floor of the profile is known exactly.
+    let nsegs = col.snapshot().segments.len() as u64;
+    check("workload produced segments", nsegs >= 1, "no segments after flush");
+    for seg in &col.snapshot().segments {
+        milvus_storage::inject_scan_delay(seg.id, DELAY);
+    }
+
+    let sp = SearchParams { k: 5, nprobe: 8, ..Default::default() };
+    let wall = Instant::now();
+    for q in 0..QUERIES {
+        let mut probe = [0.0f32; DIM];
+        probe[0] = (q * 37 % 500) as f32;
+        col.search("v", &probe, &sp).expect("search");
+    }
+    let e2e_us = wall.elapsed().as_micros() as u64;
+    milvus_storage::clear_scan_delays();
+
+    let server = RestServer::serve(Arc::clone(&milvus), "127.0.0.1:0").expect("bind");
+    let body = get(server.addr(), "/debug/profile");
+    let json = match serde::parse_value(&body) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("  FAIL /debug/profile is not valid JSON: {e} — body: {body}");
+            exit(1);
+        }
+    };
+
+    let op = json["ops"]
+        .as_array()
+        .and_then(|arr| {
+            arr.iter()
+                .find(|o| {
+                    o["collection"].as_str() == Some("profiler_smoke")
+                        && o["op"].as_str() == Some("search")
+                })
+                .cloned()
+        })
+        .unwrap_or_else(|| {
+            eprintln!("  FAIL profile entry missing — body: {body}");
+            exit(1);
+        });
+
+    let queries = op["queries"].as_f64().unwrap_or(0.0) as u64;
+    check("profiler saw every query", queries == QUERIES, &format!("queries = {queries}"));
+
+    let total_us = op["total_latency_us"].as_f64().unwrap_or(0.0) as u64;
+    let staged_us = op["stages_total_us"].as_f64().unwrap_or(0.0) as u64;
+    let delay_floor_us = QUERIES * DELAY.as_micros() as u64;
+
+    // The traced total must sit inside the wall-clock envelope: at least
+    // the injected-delay floor, at most the measured end-to-end time (the
+    // loop adds overhead *outside* the traces, never the reverse).
+    check(
+        "traced latency >= injected delay floor",
+        total_us >= delay_floor_us,
+        &format!("total {total_us}µs < floor {delay_floor_us}µs"),
+    );
+    check(
+        "traced latency <= end-to-end wall time",
+        total_us <= e2e_us,
+        &format!("total {total_us}µs > e2e {e2e_us}µs"),
+    );
+
+    // Attribution adds up: the per-stage sums must cover the bulk of the
+    // traced latency (scan dominates by construction), and — since stage
+    // time is CPU-time-like — never exceed nsegs parallel scans per query.
+    check(
+        "stage breakdown covers >= 70% of traced latency",
+        staged_us * 10 >= total_us * 7,
+        &format!("stages {staged_us}µs vs total {total_us}µs"),
+    );
+    check(
+        "stage breakdown is bounded by parallel scan budget",
+        staged_us <= e2e_us * nsegs.max(1) + delay_floor_us,
+        &format!("stages {staged_us}µs, e2e {e2e_us}µs, {nsegs} segments"),
+    );
+
+    let dominant = op["stages"]
+        .as_array()
+        .and_then(|s| s.first().cloned())
+        .map(|s| s["stage"].as_str().unwrap_or("").to_string())
+        .unwrap_or_default();
+    check(
+        "segment_scan is the dominant stage",
+        dominant == "segment_scan",
+        &format!("dominant stage = {dominant:?} — body: {body}"),
+    );
+
+    server.shutdown();
+    println!("profiler smoke: all checks passed ✓ ({QUERIES} queries, {nsegs} segments, e2e {e2e_us}µs, staged {staged_us}µs)");
+}

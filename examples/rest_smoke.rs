@@ -49,6 +49,16 @@ fn expect_ok(name: &str, (status, body): (u16, String)) -> String {
     body
 }
 
+fn parse(name: &str, body: &str) -> serde::Value {
+    match serde::parse_value(body) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("  FAIL {name} is not valid JSON: {e} — body: {body}");
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let milvus = Arc::new(Milvus::new());
     // Threshold 0 marks every sampled query as slow, so the ring buffer is
@@ -109,6 +119,8 @@ fn main() {
         "milvus_net_retries_total",
         "milvus_net_timeouts_total",
         "milvus_net_failovers_total",
+        "milvus_search_degraded_total",
+        "milvus_search_coverage_ratio",
     ] {
         check(
             &format!("/metrics declares {family}"),
@@ -134,6 +146,78 @@ fn main() {
         .map(|arr| arr.iter().any(|t| t["collection"].as_str() == Some("smoke")))
         .unwrap_or(false);
     check("ring contains the smoke query", has_ours, &body);
+
+    // --- Flight recorder: two explicit frames bracketing one search give
+    // /debug/timeseries a closed window with a known counter delta.
+    expect_ok(
+        "POST /debug/timeseries/tick",
+        request(addr, "POST", "/debug/timeseries/tick", ""),
+    );
+    expect_ok(
+        "POST /collections/smoke/search (in window)",
+        request(addr, "POST", "/collections/smoke/search", r#"{"vector":[0.1,0.9,0.0,0.0],"k":2}"#),
+    );
+    expect_ok(
+        "POST /debug/timeseries/tick",
+        request(addr, "POST", "/debug/timeseries/tick", ""),
+    );
+    let body = expect_ok("GET /debug/timeseries", request(addr, "GET", "/debug/timeseries", ""));
+    let json = parse("/debug/timeseries", &body);
+    check(
+        "/debug/timeseries has >= 2 windows",
+        json["windows"].as_f64().unwrap_or(0.0) >= 2.0,
+        &body,
+    );
+    let delta = json["counters"]
+        .as_array()
+        .and_then(|arr| {
+            arr.iter().find(|c| {
+                c["name"].as_str() == Some("milvus_query_total")
+                    && c["collection"].as_str() == Some("smoke")
+            })
+        })
+        .and_then(|c| c["window_delta"].as_f64())
+        .unwrap_or(-1.0);
+    check("window delta counts the bracketed search", delta == 1.0, &format!("delta = {delta}"));
+
+    // --- GET /debug/profile: the traced searches appear with stage rows.
+    let body = expect_ok("GET /debug/profile", request(addr, "GET", "/debug/profile", ""));
+    let json = parse("/debug/profile", &body);
+    let has_op = json["ops"]
+        .as_array()
+        .map(|arr| {
+            arr.iter().any(|o| {
+                o["collection"].as_str() == Some("smoke")
+                    && o["op"].as_str() == Some("search")
+                    && o["stages"].as_array().is_some_and(|s| !s.is_empty())
+            })
+        })
+        .unwrap_or(false);
+    check("/debug/profile has a staged smoke/search entry", has_op, &body);
+
+    // --- GET /health: a healthy single-node process answers ok with all
+    // four components.
+    let body = expect_ok("GET /health", request(addr, "GET", "/health", ""));
+    let json = parse("/health", &body);
+    check("/health is ok", json["status"].as_str() == Some("ok"), &body);
+    check(
+        "/health lists 4 components",
+        json["components"].as_array().map(|c| c.len()) == Some(4),
+        &body,
+    );
+
+    // --- POST /collections/smoke/explain: EXPLAIN ANALYZE round-trip.
+    let body = expect_ok(
+        "POST /collections/smoke/explain",
+        request(addr, "POST", "/collections/smoke/explain", r#"{"vector":[0.9,0.1,0.0,0.0],"k":2}"#),
+    );
+    let json = parse("/collections/smoke/explain", &body);
+    let report = json["report"].as_str().unwrap_or("");
+    check(
+        "explain report is well-formed",
+        report.starts_with("EXPLAIN ANALYZE op=search") && report.contains("segment_scan"),
+        report,
+    );
 
     server.shutdown();
     println!("smoke: all checks passed ✓");

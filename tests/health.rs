@@ -1,0 +1,156 @@
+//! ISSUE 7 acceptance: the health/SLO surface flips ok → degraded under a
+//! seeded SimNet partition and returns to ok after heal + resync — fully
+//! deterministic, because every signal the health model consumes is a
+//! count, ratio or gauge (no wall-clock denominators) and window
+//! boundaries are placed explicitly with the SimNet virtual clock.
+//!
+//! The metrics registry and flight recorder are process-global; this file
+//! is its own test binary with a single test, so frames recorded here are
+//! guaranteed adjacent.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use milvus_core::rest::RestServer;
+use milvus_core::Milvus;
+use milvus_distributed::{Cluster, NodeId, SimNet};
+use milvus_index::traits::SearchParams;
+use milvus_index::{Metric, VectorSet};
+use milvus_obs::HealthStatus;
+use milvus_storage::object_store::MemoryStore;
+use milvus_storage::{InsertBatch, LsmConfig, Schema};
+
+const DIM: usize = 16;
+
+fn sim_cluster(shards: usize, readers: usize, seed: u64) -> (Cluster, Arc<SimNet>) {
+    let net = SimNet::new(seed);
+    let c = Cluster::with_transport(
+        Schema::single("v", DIM, Metric::L2),
+        shards,
+        readers,
+        Arc::new(MemoryStore::new()),
+        LsmConfig { auto_merge: false, ..Default::default() },
+        net.clone(),
+    )
+    .unwrap();
+    (c, net)
+}
+
+fn fill(c: &Cluster, n: i64) {
+    let mut vs = VectorSet::new(DIM);
+    for i in 0..n {
+        let mut v = [0.0f32; DIM];
+        v[0] = i as f32;
+        v[1] = (i % 7) as f32;
+        vs.push(&v);
+    }
+    c.insert(InsertBatch::single((0..n).collect(), vs)).unwrap();
+    c.flush().unwrap();
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    write!(s, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).unwrap();
+    let status = buf.lines().next().unwrap_or_default().to_string();
+    let body = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn health_flips_to_degraded_under_partition_and_recovers_after_heal() {
+    let (c, net) = sim_cluster(8, 2, 71);
+    fill(&c, 300);
+
+    let m = Arc::new(Milvus::new());
+    let server = RestServer::serve(Arc::clone(&m), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    let sp = SearchParams::top_k(5);
+    let q = [1.0f32; DIM];
+
+    // Phase 0 — clean search establishes full coverage; a frame at virtual
+    // t0 closes the warm-up window, so health judges only what follows.
+    let clean = c.search_detailed("v", &q, &sp).unwrap();
+    assert!(clean.is_complete());
+    let t0 = net.virtual_time().as_micros() as u64;
+    m.tick_timeseries_at(t0);
+    let r = m.health();
+    assert_eq!(r.status, HealthStatus::Ok, "{r:?}");
+    let (status, body) = http_get(addr, "/health");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    // The hash ring must split the shards for the scenario below: the
+    // victim's shards become uncovered while the survivor's stay served.
+    let readers = c.readers();
+    let (victim, survivor) = if readers[0].assigned_shards().is_empty() {
+        (&readers[1], &readers[0])
+    } else {
+        (&readers[0], &readers[1])
+    };
+    let victim_shards = victim.assigned_shards();
+    assert!(
+        !victim_shards.is_empty() && !survivor.assigned_shards().is_empty(),
+        "ring must give both readers shards"
+    );
+
+    // Phase 1 — cut the victim's query link. No search yet (a failover
+    // search would warm the survivor's cache with the orphan shards); the
+    // transport component already sees the down link gauges and degrades.
+    net.partition(NodeId::Client, NodeId::Reader(victim.id));
+    let r = m.health();
+    assert_eq!(r.status, HealthStatus::Degraded, "{r:?}");
+    assert_eq!(r.components[1].component, "transport");
+    assert_eq!(r.components[1].status, HealthStatus::Degraded, "{r:?}");
+    assert!(r.components[1].reason.contains("links down"), "{}", r.components[1].reason);
+    assert_eq!(r.components[3].status, HealthStatus::Ok, "no degraded search yet: {r:?}");
+    let (status, body) = http_get(addr, "/health");
+    assert!(status.contains("200"), "degraded still serves: {status}");
+    assert!(body.contains("\"status\":\"degraded\""), "{body}");
+
+    // Phase 2 — also cut the survivor's storage link, so the orphan shards
+    // cannot be re-fanned (the cache fill needs storage). The next search
+    // is genuinely degraded: partial coverage gauge, degraded-search
+    // counter, search component degraded.
+    let degraded_before =
+        milvus_obs::registry().snapshot().counter(milvus_obs::SEARCH_DEGRADED, "cluster");
+    net.partition(NodeId::Reader(survivor.id), NodeId::Storage);
+    let partial = c.search_detailed("v", &q, &sp).unwrap();
+    assert_eq!(partial.uncovered_shards, victim_shards, "{partial:?}");
+    assert!(!partial.neighbors.is_empty(), "survivor's own shards still answer");
+    let snap = milvus_obs::registry().snapshot();
+    assert!(
+        snap.counter(milvus_obs::SEARCH_DEGRADED, "cluster") > degraded_before,
+        "degraded search must be counted"
+    );
+    let ppm = snap.gauge(milvus_obs::SEARCH_COVERAGE_RATIO, "cluster");
+    assert!(ppm > 0 && ppm < 1_000_000, "coverage must be partial, got {ppm} ppm");
+    let r = m.health();
+    assert_eq!(r.status, HealthStatus::Degraded, "{r:?}");
+    assert_eq!(r.components[3].component, "search");
+    assert_eq!(r.components[3].status, HealthStatus::Degraded, "{r:?}");
+    assert!(r.components[3].reason.contains("coverage"), "{}", r.components[3].reason);
+
+    // Phase 3 — heal + resync, run a clean search, close the window at
+    // virtual t1: the degraded history is absorbed into the baseline and
+    // health returns to ok.
+    net.heal();
+    c.resync().unwrap();
+    let recovered = c.search_detailed("v", &q, &sp).unwrap();
+    assert!(recovered.is_complete(), "heal + resync must restore coverage");
+    assert_eq!(recovered.neighbors, clean.neighbors, "recovered results diverged");
+    let t1 = net.virtual_time().as_micros() as u64;
+    assert!(t1 > t0, "retries and timeouts must burn virtual time");
+    m.tick_timeseries_at(t1);
+    let r = m.health();
+    assert_eq!(r.status, HealthStatus::Ok, "{r:?}");
+    let (status, body) = http_get(addr, "/health");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    // The two explicit frames give the time-series view one closed window.
+    assert!(m.timeseries().windows() >= 2);
+    server.shutdown();
+}

@@ -12,6 +12,13 @@ use milvus_index::{Metric, VectorSet};
 use milvus_obs as obs;
 use milvus_storage::{InsertBatch, Schema};
 
+/// The flight recorder is process-global: tests that tick it serialize on
+/// this guard so their frames stay adjacent in the ring.
+fn tick_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 fn batch(ids: std::ops::Range<i64>, dim: usize) -> InsertBatch {
     let id_vec: Vec<i64> = ids.collect();
     let mut vs = VectorSet::new(dim);
@@ -150,6 +157,129 @@ fn prometheus_exposition_is_well_formed() {
             "exposition line has a non-numeric value: {line}"
         );
     }
+}
+
+/// ISSUE 7 acceptance: the flight-recorder's windowed p99 (derived from
+/// histogram bucket *diffs* between two frames) must agree with the live
+/// histogram's p99 to within one bucket, under a seeded scan delay that
+/// pushes search latency into a bucket no other test in this process hits.
+#[test]
+fn windowed_p99_tracks_live_histogram_within_one_bucket() {
+    let _serial = tick_guard();
+    let name = "obs_windowed_p99";
+    let m = Milvus::new();
+    let col = m
+        .create_collection(name, Schema::single("v", 4, Metric::L2), CollectionConfig::for_tests())
+        .unwrap();
+    col.insert(batch(0..200, 4)).unwrap();
+    col.flush().unwrap();
+    for seg in &col.snapshot().segments {
+        milvus_storage::inject_scan_delay(seg.id, std::time::Duration::from_millis(3));
+    }
+
+    m.tick_timeseries();
+    for q in 0..20 {
+        col.search("v", &[q as f32, 0.0, 0.0, 0.0], &SearchParams::top_k(3)).unwrap();
+    }
+    m.tick_timeseries();
+    milvus_storage::clear_scan_delays();
+
+    let live = m.metrics_snapshot().histogram(obs::QUERY_LATENCY, name);
+    let windowed = m.timeseries().windowed_histogram(obs::QUERY_LATENCY, name, 1);
+    assert_eq!(windowed.count, 20, "all 20 searches must land in the window");
+    assert!(live.count >= 20);
+
+    // The injected 3ms floor must dominate: p99 lives in a microsecond
+    // bucket at or above 3000µs.
+    let live_p99 = live.quantile_us(0.99);
+    let win_p99 = windowed.p99_us();
+    assert!(live_p99 >= 3000.0, "scan delay must dominate: live p99 {live_p99}µs");
+    assert!(win_p99 >= 3000.0, "scan delay must dominate: windowed p99 {win_p99}µs");
+
+    let bucket_of = |v: f64| {
+        obs::BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| v <= b as f64)
+            .unwrap_or(obs::BUCKET_BOUNDS_US.len())
+    };
+    let (lb, wb) = (bucket_of(live_p99), bucket_of(win_p99));
+    assert!(
+        lb.abs_diff(wb) <= 1,
+        "windowed p99 {win_p99}µs (bucket {wb}) must be within one bucket of live p99 {live_p99}µs (bucket {lb})"
+    );
+}
+
+/// Satellite 3: the new debug/health REST endpoints answer well-formed
+/// JSON end-to-end (socket up, routed, serialized) — the full-payload
+/// shape assertions live in `crates/core/src/rest.rs` and the CI smoke.
+#[test]
+fn rest_debug_endpoints_return_well_formed_json() {
+    use milvus_core::rest::RestServer;
+    use std::io::{Read as _, Write as _};
+
+    let _serial = tick_guard();
+    let name = "obs_rest_endpoints";
+    let m = std::sync::Arc::new(Milvus::new());
+    let col = m
+        .create_collection(name, Schema::single("v", 4, Metric::L2), CollectionConfig::for_tests())
+        .unwrap();
+    col.insert(batch(0..100, 4)).unwrap();
+    col.flush().unwrap();
+    let server = RestServer::serve(std::sync::Arc::clone(&m), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let request = |method: &str, path: &str, body: &str| -> (String, serde::Value) {
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        write!(
+            s,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        s.read_to_string(&mut response).unwrap();
+        let status = response.lines().next().unwrap_or_default().to_string();
+        let payload = response.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+        let json = serde::parse_value(payload)
+            .unwrap_or_else(|e| panic!("{method} {path}: invalid JSON ({e}): {payload}"));
+        (status, json)
+    };
+
+    // One search bracketed by two adjacent frames = one known window.
+    request("POST", "/debug/timeseries/tick", "");
+    col.search("v", &[1.0, 0.0, 0.0, 0.0], &SearchParams::top_k(3)).unwrap();
+    request("POST", "/debug/timeseries/tick", "");
+
+    let (status, ts) = request("GET", "/debug/timeseries", "");
+    assert!(status.contains("200"), "{status}");
+    assert!(ts["windows"].as_f64().unwrap_or(0.0) >= 2.0, "{ts:?}");
+    let delta = ts["counters"]
+        .as_array()
+        .and_then(|arr| {
+            arr.iter().find(|c| {
+                c["name"].as_str() == Some("milvus_query_total")
+                    && c["collection"].as_str() == Some(name)
+            })
+        })
+        .and_then(|c| c["window_delta"].as_f64());
+    assert_eq!(delta, Some(1.0), "{ts:?}");
+
+    let (status, profile) = request("GET", "/debug/profile", "");
+    assert!(status.contains("200"), "{status}");
+    let staged = profile["ops"].as_array().is_some_and(|arr| {
+        arr.iter().any(|o| {
+            o["collection"].as_str() == Some(name)
+                && o["stages"].as_array().is_some_and(|s| !s.is_empty())
+        })
+    });
+    assert!(staged, "{profile:?}");
+
+    let (status, health) = request("GET", "/health", "");
+    assert!(status.contains("200"), "{status}");
+    assert!(health["status"].as_str().is_some(), "{health:?}");
+    assert_eq!(health["components"].as_array().map(|c| c.len()), Some(4), "{health:?}");
+
+    server.shutdown();
 }
 
 #[test]
