@@ -1,0 +1,203 @@
+//! Quantized-scan shoot-out: the seed's decode-then-distance SQ8 path vs the
+//! fused direct-on-u8 kernels, alongside FLAT and PQ ADC (pruned and
+//! unpruned), at SIFT-like (dim 128) and GIST-like (dim 960) shapes.
+//!
+//! Emits `BENCH_quantized_scan.json` in the current directory:
+//!
+//! ```json
+//! {"config": {...}, "results": [
+//!   {"dim": 128, "engine": "sq8_fused", "best_us": 123, "mean_us": 130,
+//!    "speedup_vs_sq8_decoded": 3.1}, ...]}
+//! ```
+//!
+//! `--smoke` (or `--test`) shrinks the workload to a CI-friendly second
+//! while still exercising every engine and the JSON path.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use milvus_datagen as datagen;
+use milvus_index::ivf::{IvfIndex, IvfVariant};
+use milvus_index::topk::TopK;
+use milvus_index::vectors::VectorSet;
+use milvus_index::{distance, BuildParams, Metric, SearchParams, VectorIndex};
+
+struct Shape {
+    dim: usize,
+    n: usize,
+    nlist: usize,
+    pq_m: usize,
+    kmeans_iters: usize,
+}
+
+struct Measurement {
+    dim: usize,
+    engine: &'static str,
+    best_us: f64,
+    mean_us: f64,
+}
+
+fn time_engine(reps: usize, mut run: impl FnMut() -> usize) -> (f64, f64) {
+    // One warm-up pass, then best/mean of `reps` timed passes; best-of
+    // filters scheduler noise on shared CI.
+    black_box(run());
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(run());
+        let us = t.elapsed().as_secs_f64() * 1e6;
+        best = best.min(us);
+        total += us;
+    }
+    (best, total / reps as f64)
+}
+
+/// The seed's SQ8 scan, reproduced exactly: per bucket, allocate a scratch
+/// `Vec<f32>`, decode every code row into it, then run the float kernel.
+fn sq8_decoded_search(
+    index: &IvfIndex,
+    query: &[f32],
+    params: &SearchParams,
+) -> Vec<milvus_index::Neighbor> {
+    let (vmin, vstep) = index.sq_params().expect("sq8 index");
+    let dim = index.dim();
+    let mut heap = TopK::new(params.k.max(1));
+    for b in index.probe_buckets(query, params.nprobe) {
+        let codes = index.bucket_codes(b).expect("sq8 codes");
+        let ids = index.bucket_ids(b);
+        let mut decoded = vec![0.0f32; dim];
+        for (row, code) in codes.chunks_exact(dim).enumerate() {
+            for d in 0..dim {
+                decoded[d] = vmin[d] + code[d] as f32 * vstep[d];
+            }
+            heap.push(ids[row], distance::distance(Metric::L2, query, &decoded));
+        }
+    }
+    heap.into_sorted()
+}
+
+/// PQ ADC without early abandon: full table lookups over the probed buckets
+/// (isolates what the threshold pruning buys).
+fn pq_unpruned_search(
+    index: &IvfIndex,
+    query: &[f32],
+    params: &SearchParams,
+) -> Vec<milvus_index::Neighbor> {
+    let pq = index.pq_ref().expect("pq index");
+    let table = pq.distance_table(query, Metric::L2);
+    let mut heap = TopK::new(params.k.max(1));
+    for b in index.probe_buckets(query, params.nprobe) {
+        let codes = index.bucket_codes(b).expect("pq codes");
+        let ids = index.bucket_ids(b);
+        for (row, code) in codes.chunks_exact(pq.m()).enumerate() {
+            heap.push(ids[row], table.lookup(code));
+        }
+    }
+    heap.into_sorted()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--test");
+    let (shapes, n_queries, reps) = if smoke {
+        (vec![Shape { dim: 32, n: 1500, nlist: 16, pq_m: 8, kmeans_iters: 4 }], 8, 1)
+    } else {
+        (
+            vec![
+                Shape { dim: 128, n: 20000, nlist: 64, pq_m: 16, kmeans_iters: 6 },
+                Shape { dim: 960, n: 4000, nlist: 32, pq_m: 32, kmeans_iters: 4 },
+            ],
+            64,
+            3,
+        )
+    };
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for shape in &shapes {
+        eprintln!("building indexes for dim={} n={} ...", shape.dim, shape.n);
+        let data = datagen::clustered(shape.n, shape.dim, 32, 0.0, 100.0, 8.0, 42);
+        let ids: Vec<i64> = (0..shape.n as i64).collect();
+        let queries: VectorSet = datagen::queries_from(&data, n_queries, 2.0, 43);
+        let params = BuildParams {
+            metric: Metric::L2,
+            nlist: shape.nlist,
+            kmeans_iters: shape.kmeans_iters,
+            pq_m: shape.pq_m,
+            ..Default::default()
+        };
+        let flat = IvfIndex::build(IvfVariant::Flat, &data, &ids, &params).unwrap();
+        let sq8 = IvfIndex::build(IvfVariant::Sq8, &data, &ids, &params).unwrap();
+        let pq = IvfIndex::build(IvfVariant::Pq, &data, &ids, &params).unwrap();
+        let sp = SearchParams { k: 10, nprobe: 16, ..Default::default() };
+
+        let run_index = |idx: &IvfIndex| {
+            let mut total = 0usize;
+            for q in queries.iter() {
+                total += idx.search(q, &sp).unwrap().len();
+            }
+            total
+        };
+        type Engine<'a> = (&'static str, Box<dyn FnMut() -> usize + 'a>);
+        let engines: Vec<Engine> = vec![
+            ("flat", Box::new(|| run_index(&flat))),
+            (
+                "sq8_decoded",
+                Box::new(|| {
+                    queries.iter().map(|q| sq8_decoded_search(&sq8, q, &sp).len()).sum()
+                }),
+            ),
+            ("sq8_fused", Box::new(|| run_index(&sq8))),
+            (
+                "pq_adc_unpruned",
+                Box::new(|| queries.iter().map(|q| pq_unpruned_search(&pq, q, &sp).len()).sum()),
+            ),
+            ("pq_adc_pruned", Box::new(|| run_index(&pq))),
+        ];
+        for (name, run) in engines {
+            let (best_us, mean_us) = time_engine(reps, run);
+            eprintln!(
+                "dim={:>4}  {name:<16} best {best_us:>10.0} us  mean {mean_us:>10.0} us",
+                shape.dim
+            );
+            results.push(Measurement { dim: shape.dim, engine: name, best_us, mean_us });
+        }
+    }
+
+    let mut json = String::from("{\n  \"config\": {");
+    json.push_str(&format!(
+        "\"n_queries\": {n_queries}, \"k\": 10, \"nprobe\": 16, \"reps\": {reps}, \
+         \"smoke\": {smoke}, \"simd\": \"{}\"",
+        milvus_index::simd::active_level()
+    ));
+    json.push_str("},\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let baseline = results
+            .iter()
+            .find(|b| b.dim == r.dim && b.engine == "sq8_decoded")
+            .map_or(f64::NAN, |b| b.best_us);
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"dim\": {}, \"engine\": \"{}\", \"best_us\": {:.1}, \"mean_us\": {:.1}, \
+             \"speedup_vs_sq8_decoded\": {:.3}}}{}\n",
+            r.dim,
+            r.engine,
+            r.best_us,
+            r.mean_us,
+            baseline / r.best_us,
+            sep
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_quantized_scan.json", &json).expect("write bench json");
+    eprintln!("wrote BENCH_quantized_scan.json");
+
+    if !smoke {
+        for dim in [128usize, 960] {
+            let fused = results.iter().find(|r| r.dim == dim && r.engine == "sq8_fused");
+            let decoded = results.iter().find(|r| r.dim == dim && r.engine == "sq8_decoded");
+            if let (Some(f), Some(d)) = (fused, decoded) {
+                eprintln!("fused SQ8 speedup over decode-then-distance at dim={dim}: {:.2}x", d.best_us / f.best_us);
+            }
+        }
+    }
+}

@@ -199,6 +199,12 @@ impl Collection {
     /// Vector query (§2.1): top-k over `field` across all segments of the
     /// query's snapshot, merged. Admits a trace through the sampler; queries
     /// slower than the configured threshold land in the slow-query log.
+    ///
+    /// Each fanned-out segment task prepares the query once per index
+    /// (cosine normalization, hoisted kernels, fused SQ8 state or the PQ ADC
+    /// table — `IvfIndex::prepare`) and reuses it across every probed
+    /// bucket; with no tombstones and no filter, the segment takes the
+    /// unfiltered scan path with zero per-row predicate dispatch.
     pub fn search(&self, field: &str, query: &[f32], params: &SearchParams) -> Result<Vec<SearchHit>> {
         let mut trace = obs::Trace::start("search", &self.trace_label);
         let result = self.search_traced(field, query, params, &mut trace);

@@ -148,9 +148,11 @@ impl Sq8hIndex {
         let mut out = Vec::with_capacity(queries.len());
         for q in queries.iter() {
             let probes = self.ivf.probe_buckets(q, params.nprobe);
+            // Fused-scan state built once per query, reused by every bucket.
+            let prepared = self.ivf.prepare(q);
             let mut heap = TopK::new(params.k.max(1));
             for b in probes {
-                self.ivf.scan_bucket(b, q, &mut heap, None);
+                self.ivf.scan_bucket_prepared(b, &prepared, &mut heap, None);
             }
             out.push(heap.into_sorted());
         }
@@ -213,9 +215,10 @@ impl Sq8hIndex {
         // Exact results via host computation (cost already charged to GPU).
         let mut out = Vec::with_capacity(queries.len());
         for (qi, q) in queries.iter().enumerate() {
+            let prepared = self.ivf.prepare(q);
             let mut heap = TopK::new(params.k.max(1));
             for &b in &probes[qi] {
-                self.ivf.scan_bucket(b, q, &mut heap, None);
+                self.ivf.scan_bucket_prepared(b, &prepared, &mut heap, None);
             }
             out.push(heap.into_sorted());
         }
@@ -236,9 +239,10 @@ impl Sq8hIndex {
         let start = Instant::now();
         let mut out = Vec::with_capacity(queries.len());
         for (qi, q) in queries.iter().enumerate() {
+            let prepared = self.ivf.prepare(q);
             let mut heap = TopK::new(params.k.max(1));
             for &b in &probes[qi] {
-                self.ivf.scan_bucket(b, q, &mut heap, None);
+                self.ivf.scan_bucket_prepared(b, &prepared, &mut heap, None);
             }
             out.push(heap.into_sorted());
         }
@@ -289,9 +293,10 @@ impl VectorIndex for Sq8hIndex {
             &VectorSet::from_flat(query.len(), query.to_vec()),
             params.nprobe,
         );
+        let prepared = self.ivf.prepare(query);
         let mut heap = TopK::new(params.k.max(1));
         for &b in &probes[0] {
-            self.ivf.scan_bucket(b, query, &mut heap, Some(allow));
+            self.ivf.scan_bucket_prepared(b, &prepared, &mut heap, Some(allow));
         }
         Ok(heap.into_sorted())
     }

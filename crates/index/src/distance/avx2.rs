@@ -106,8 +106,155 @@ pub unsafe fn inner_product_x4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Fused SQ8 kernels: score u8 codes directly with cvtepu8 + FMA. The two
+// 256-bit accumulators hold pinned lanes 0..8 / 8..16; reducing with
+// `add_ps(lo, hi)` then [`horizontal_sum`] reproduces exactly the scalar
+// reference's `reduce16` (`s_j = lane_j + lane_{j+8}`, then the
+// `((s0+s4)+(s1+s5)) + ((s2+s6)+(s3+s7))` tree), so results are
+// bit-identical to `scalar::sq8_dot` / `scalar::sq8_l2`.
+// ---------------------------------------------------------------------------
+
+/// Convert 16 u8 codes starting at `p` into two exact f32 octets.
 #[inline]
-unsafe fn horizontal_sum(v: __m256) -> f32 {
+#[target_feature(enable = "avx2,fma")]
+unsafe fn load_codes16(p: *const u8) -> (__m256, __m256) {
+    let bytes = _mm_loadu_si128(p as *const __m128i);
+    let lo = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+    let hi = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(_mm_srli_si128(bytes, 8)));
+    (lo, hi)
+}
+
+/// Fused SQ8 dot `Σ w_d·c_d` over raw u8 codes (AVX2+FMA).
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2 and FMA, and that
+/// `codes.len() == w.len()`.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn sq8_dot(w: &[f32], codes: &[u8]) -> f32 {
+    let n = w.len();
+    let mut acc_lo = _mm256_setzero_ps();
+    let mut acc_hi = _mm256_setzero_ps();
+    let blocks = n / 16;
+    for i in 0..blocks {
+        let base = i * 16;
+        let (c_lo, c_hi) = load_codes16(codes.as_ptr().add(base));
+        let w_lo = _mm256_loadu_ps(w.as_ptr().add(base));
+        let w_hi = _mm256_loadu_ps(w.as_ptr().add(base + 8));
+        acc_lo = _mm256_fmadd_ps(c_lo, w_lo, acc_lo);
+        acc_hi = _mm256_fmadd_ps(c_hi, w_hi, acc_hi);
+    }
+    let mut sum = horizontal_sum(_mm256_add_ps(acc_lo, acc_hi));
+    for i in blocks * 16..n {
+        sum = (codes[i] as f32).mul_add(w[i], sum);
+    }
+    sum
+}
+
+/// Fused SQ8 squared L2 `Σ (r_d − c_d·step_d)²` over raw u8 codes (AVX2+FMA).
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX2 and FMA, and that
+/// `codes.len() == r.len() == step.len()`.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn sq8_l2(r: &[f32], step: &[f32], codes: &[u8]) -> f32 {
+    let n = r.len();
+    let mut acc_lo = _mm256_setzero_ps();
+    let mut acc_hi = _mm256_setzero_ps();
+    let blocks = n / 16;
+    for i in 0..blocks {
+        let base = i * 16;
+        let (c_lo, c_hi) = load_codes16(codes.as_ptr().add(base));
+        let r_lo = _mm256_loadu_ps(r.as_ptr().add(base));
+        let r_hi = _mm256_loadu_ps(r.as_ptr().add(base + 8));
+        let s_lo = _mm256_loadu_ps(step.as_ptr().add(base));
+        let s_hi = _mm256_loadu_ps(step.as_ptr().add(base + 8));
+        let u_lo = _mm256_fnmadd_ps(c_lo, s_lo, r_lo);
+        let u_hi = _mm256_fnmadd_ps(c_hi, s_hi, r_hi);
+        acc_lo = _mm256_fmadd_ps(u_lo, u_lo, acc_lo);
+        acc_hi = _mm256_fmadd_ps(u_hi, u_hi, acc_hi);
+    }
+    let mut sum = horizontal_sum(_mm256_add_ps(acc_lo, acc_hi));
+    for i in blocks * 16..n {
+        let c = codes[i] as f32;
+        let u = (-c).mul_add(step[i], r[i]);
+        sum = u.mul_add(u, sum);
+    }
+    sum
+}
+
+/// ×4-row tiled [`sq8_dot`]: the prepared weights are loaded once per block
+/// and feed four FMA chains, one per code row. Bit-identical per row to the
+/// untiled kernel.
+///
+/// # Safety
+/// Same preconditions as [`sq8_dot`] for every row.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn sq8_dot_x4(w: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+    let n = w.len();
+    let mut acc_lo = [_mm256_setzero_ps(); 4];
+    let mut acc_hi = [_mm256_setzero_ps(); 4];
+    let blocks = n / 16;
+    for i in 0..blocks {
+        let base = i * 16;
+        let w_lo = _mm256_loadu_ps(w.as_ptr().add(base));
+        let w_hi = _mm256_loadu_ps(w.as_ptr().add(base + 8));
+        for j in 0..4 {
+            let (c_lo, c_hi) = load_codes16(codes[j].as_ptr().add(base));
+            acc_lo[j] = _mm256_fmadd_ps(c_lo, w_lo, acc_lo[j]);
+            acc_hi[j] = _mm256_fmadd_ps(c_hi, w_hi, acc_hi[j]);
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for j in 0..4 {
+        let mut sum = horizontal_sum(_mm256_add_ps(acc_lo[j], acc_hi[j]));
+        for i in blocks * 16..n {
+            sum = (codes[j][i] as f32).mul_add(w[i], sum);
+        }
+        out[j] = sum;
+    }
+    out
+}
+
+/// ×4-row tiled [`sq8_l2`]; see [`sq8_dot_x4`].
+///
+/// # Safety
+/// Same preconditions as [`sq8_l2`] for every row.
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn sq8_l2_x4(r: &[f32], step: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+    let n = r.len();
+    let mut acc_lo = [_mm256_setzero_ps(); 4];
+    let mut acc_hi = [_mm256_setzero_ps(); 4];
+    let blocks = n / 16;
+    for i in 0..blocks {
+        let base = i * 16;
+        let r_lo = _mm256_loadu_ps(r.as_ptr().add(base));
+        let r_hi = _mm256_loadu_ps(r.as_ptr().add(base + 8));
+        let s_lo = _mm256_loadu_ps(step.as_ptr().add(base));
+        let s_hi = _mm256_loadu_ps(step.as_ptr().add(base + 8));
+        for j in 0..4 {
+            let (c_lo, c_hi) = load_codes16(codes[j].as_ptr().add(base));
+            let u_lo = _mm256_fnmadd_ps(c_lo, s_lo, r_lo);
+            let u_hi = _mm256_fnmadd_ps(c_hi, s_hi, r_hi);
+            acc_lo[j] = _mm256_fmadd_ps(u_lo, u_lo, acc_lo[j]);
+            acc_hi[j] = _mm256_fmadd_ps(u_hi, u_hi, acc_hi[j]);
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for j in 0..4 {
+        let mut sum = horizontal_sum(_mm256_add_ps(acc_lo[j], acc_hi[j]));
+        for i in blocks * 16..n {
+            let c = codes[j][i] as f32;
+            let u = (-c).mul_add(step[i], r[i]);
+            sum = u.mul_add(u, sum);
+        }
+        out[j] = sum;
+    }
+    out
+}
+
+#[inline]
+pub(crate) unsafe fn horizontal_sum(v: __m256) -> f32 {
     let hi = _mm256_extractf128_ps(v, 1);
     let lo = _mm256_castps256_ps128(v);
     let sum128 = _mm_add_ps(lo, hi);

@@ -85,6 +85,142 @@ pub unsafe fn inner_product_x4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Fused SQ8 kernels: one 512-bit accumulator natively holds the 16 pinned
+// virtual lanes of the scalar reference. The reduction splits 512→256 with
+// the AVX512F-only `extractf64x4` cast (no DQ requirement) — giving
+// `s_j = lane_j + lane_{j+8}` — then folds through the same AVX2 horizontal
+// tree, so results are bit-identical to `scalar::sq8_dot` / `scalar::sq8_l2`
+// and to the AVX2 kernels. These shims additionally require AVX2+FMA (the
+// dispatcher in `distance::quant` only hands them out when both are
+// detected).
+// ---------------------------------------------------------------------------
+
+/// Reduce the 16 pinned lanes exactly like the scalar reference's `reduce16`.
+#[inline]
+#[target_feature(enable = "avx512f,avx2,fma")]
+unsafe fn reduce16(acc: __m512) -> f32 {
+    let lo = _mm512_castps512_ps256(acc);
+    let hi = _mm256_castpd_ps(_mm512_extractf64x4_pd(_mm512_castps_pd(acc), 1));
+    super::avx2::horizontal_sum(_mm256_add_ps(lo, hi))
+}
+
+/// Fused SQ8 dot `Σ w_d·c_d` over raw u8 codes (AVX-512F + AVX2/FMA).
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX-512F, AVX2 and FMA, and that
+/// `codes.len() == w.len()`.
+#[target_feature(enable = "avx512f,avx2,fma")]
+pub unsafe fn sq8_dot(w: &[f32], codes: &[u8]) -> f32 {
+    let n = w.len();
+    let mut acc = _mm512_setzero_ps();
+    let blocks = n / 16;
+    for i in 0..blocks {
+        let base = i * 16;
+        let bytes = _mm_loadu_si128(codes.as_ptr().add(base) as *const __m128i);
+        let c = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(bytes));
+        let wv = _mm512_loadu_ps(w.as_ptr().add(base));
+        acc = _mm512_fmadd_ps(c, wv, acc);
+    }
+    let mut sum = reduce16(acc);
+    for i in blocks * 16..n {
+        sum = (codes[i] as f32).mul_add(w[i], sum);
+    }
+    sum
+}
+
+/// Fused SQ8 squared L2 `Σ (r_d − c_d·step_d)²` over raw u8 codes
+/// (AVX-512F + AVX2/FMA).
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX-512F, AVX2 and FMA, and that
+/// `codes.len() == r.len() == step.len()`.
+#[target_feature(enable = "avx512f,avx2,fma")]
+pub unsafe fn sq8_l2(r: &[f32], step: &[f32], codes: &[u8]) -> f32 {
+    let n = r.len();
+    let mut acc = _mm512_setzero_ps();
+    let blocks = n / 16;
+    for i in 0..blocks {
+        let base = i * 16;
+        let bytes = _mm_loadu_si128(codes.as_ptr().add(base) as *const __m128i);
+        let c = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(bytes));
+        let rv = _mm512_loadu_ps(r.as_ptr().add(base));
+        let sv = _mm512_loadu_ps(step.as_ptr().add(base));
+        let u = _mm512_fnmadd_ps(c, sv, rv);
+        acc = _mm512_fmadd_ps(u, u, acc);
+    }
+    let mut sum = reduce16(acc);
+    for i in blocks * 16..n {
+        let c = codes[i] as f32;
+        let u = (-c).mul_add(step[i], r[i]);
+        sum = u.mul_add(u, sum);
+    }
+    sum
+}
+
+/// ×4-row tiled [`sq8_dot`]: prepared weights loaded once per 512-bit block,
+/// feeding four FMA chains. Bit-identical per row to the untiled kernel.
+///
+/// # Safety
+/// Same preconditions as [`sq8_dot`] for every row.
+#[target_feature(enable = "avx512f,avx2,fma")]
+pub unsafe fn sq8_dot_x4(w: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+    let n = w.len();
+    let mut acc = [_mm512_setzero_ps(); 4];
+    let blocks = n / 16;
+    for i in 0..blocks {
+        let base = i * 16;
+        let wv = _mm512_loadu_ps(w.as_ptr().add(base));
+        for j in 0..4 {
+            let bytes = _mm_loadu_si128(codes[j].as_ptr().add(base) as *const __m128i);
+            let c = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(bytes));
+            acc[j] = _mm512_fmadd_ps(c, wv, acc[j]);
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for j in 0..4 {
+        let mut sum = reduce16(acc[j]);
+        for i in blocks * 16..n {
+            sum = (codes[j][i] as f32).mul_add(w[i], sum);
+        }
+        out[j] = sum;
+    }
+    out
+}
+
+/// ×4-row tiled [`sq8_l2`]; see [`sq8_dot_x4`].
+///
+/// # Safety
+/// Same preconditions as [`sq8_l2`] for every row.
+#[target_feature(enable = "avx512f,avx2,fma")]
+pub unsafe fn sq8_l2_x4(r: &[f32], step: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+    let n = r.len();
+    let mut acc = [_mm512_setzero_ps(); 4];
+    let blocks = n / 16;
+    for i in 0..blocks {
+        let base = i * 16;
+        let rv = _mm512_loadu_ps(r.as_ptr().add(base));
+        let sv = _mm512_loadu_ps(step.as_ptr().add(base));
+        for j in 0..4 {
+            let bytes = _mm_loadu_si128(codes[j].as_ptr().add(base) as *const __m128i);
+            let c = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(bytes));
+            let u = _mm512_fnmadd_ps(c, sv, rv);
+            acc[j] = _mm512_fmadd_ps(u, u, acc[j]);
+        }
+    }
+    let mut out = [0.0f32; 4];
+    for j in 0..4 {
+        let mut sum = reduce16(acc[j]);
+        for i in blocks * 16..n {
+            let c = codes[j][i] as f32;
+            let u = (-c).mul_add(step[i], r[i]);
+            sum = u.mul_add(u, sum);
+        }
+        out[j] = sum;
+    }
+    out
+}
+
 /// Inner product using AVX-512F.
 ///
 /// # Safety

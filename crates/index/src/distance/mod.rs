@@ -8,6 +8,7 @@
 
 pub mod avx2;
 pub mod avx512;
+pub mod quant;
 pub mod scalar;
 pub mod sse;
 

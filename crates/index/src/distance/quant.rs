@@ -1,0 +1,362 @@
+//! Fused quantized-scan kernels: direct-on-u8 SQ8 distances with the
+//! dequantization folded into per-query prepared state.
+//!
+//! The seed's SQ8 scan decoded every code row into a scratch `Vec<f32>` and
+//! then ran the float kernel — two passes and an allocation shadowing every
+//! bucket. The affine dequant `v_d = vmin_d + c_d·step_d` folds algebraically
+//! into the metric instead:
+//!
+//! * **Inner product**: `⟨q, v⟩ = Σ q_d·vmin_d + Σ (q_d·step_d)·c_d`, so with
+//!   per-query `w_d = q_d·step_d` and `bias = Σ q_d·vmin_d` prepared once, the
+//!   scan is a single f32×u8 dot per vector.
+//! * **L2²**: `‖q − v‖² = Σ ((q_d − vmin_d) − c_d·step_d)²`, so with
+//!   `r_d = q_d − vmin_d` prepared once, the scan is one fused
+//!   `fnmadd`+`fma` pass over the codes.
+//!
+//! Kernels exist at scalar / AVX2 / AVX-512 with ×4-row register tiling,
+//! dispatched once per query through [`sq8_kernels`] (same hoisted pattern as
+//! [`super::pair_kernel`]). All levels share a pinned 16-virtual-lane
+//! accumulation order (see `distance/scalar.rs`), so every level and the
+//! tiled forms are bit-identical to the scalar reference.
+
+use super::scalar;
+use crate::metric::Metric;
+use crate::simd::{active_level, SimdLevel};
+
+/// Fused SQ8 dot kernel: `(w, codes) → Σ w_d·c_d`.
+pub type Sq8DotKernel = fn(&[f32], &[u8]) -> f32;
+/// ×4-row tiled [`Sq8DotKernel`].
+pub type Sq8DotX4Kernel = fn(&[f32], [&[u8]; 4]) -> [f32; 4];
+/// Fused SQ8 L2² kernel: `(r, step, codes) → Σ (r_d − c_d·step_d)²`.
+pub type Sq8L2Kernel = fn(&[f32], &[f32], &[u8]) -> f32;
+/// ×4-row tiled [`Sq8L2Kernel`].
+pub type Sq8L2X4Kernel = fn(&[f32], &[f32], [&[u8]; 4]) -> [f32; 4];
+
+/// The full fused-SQ8 kernel set resolved at one ISA level.
+#[derive(Clone, Copy)]
+pub struct Sq8Kernels {
+    /// Single-row fused dot.
+    pub dot: Sq8DotKernel,
+    /// ×4-row fused dot.
+    pub dot_x4: Sq8DotX4Kernel,
+    /// Single-row fused L2².
+    pub l2: Sq8L2Kernel,
+    /// ×4-row fused L2².
+    pub l2_x4: Sq8L2X4Kernel,
+}
+
+const SCALAR_KERNELS: Sq8Kernels = Sq8Kernels {
+    dot: scalar::sq8_dot,
+    dot_x4: scalar_dot_x4,
+    l2: scalar::sq8_l2,
+    l2_x4: scalar_l2_x4,
+};
+
+fn scalar_dot_x4(w: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+    scalar::sq8_dot_x4(w, codes)
+}
+fn scalar_l2_x4(r: &[f32], step: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+    scalar::sq8_l2_x4(r, step, codes)
+}
+
+// Safety of the shims: `sq8_kernels` only hands these out when the matching
+// ISA features are detected (the AVX-512 set additionally requires AVX2+FMA
+// for its byte-expand and pinned reduction), and every caller goes through
+// `PreparedSq8`, whose constructors guarantee the prepared slices share the
+// quantizer's dimension. The debug_asserts restate the length precondition
+// the safe fn signatures cannot express.
+#[cfg(target_arch = "x86_64")]
+mod x86_shims {
+    use super::super::{avx2, avx512};
+
+    #[inline(always)]
+    fn check(w: &[f32], codes: &[u8]) {
+        debug_assert_eq!(w.len(), codes.len(), "sq8 kernel: code length mismatch");
+    }
+
+    pub fn dot_avx2(w: &[f32], codes: &[u8]) -> f32 {
+        check(w, codes);
+        unsafe { avx2::sq8_dot(w, codes) }
+    }
+    pub fn dot_x4_avx2(w: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+        for c in &codes {
+            check(w, c);
+        }
+        unsafe { avx2::sq8_dot_x4(w, codes) }
+    }
+    pub fn l2_avx2(r: &[f32], step: &[f32], codes: &[u8]) -> f32 {
+        check(r, codes);
+        debug_assert_eq!(r.len(), step.len());
+        unsafe { avx2::sq8_l2(r, step, codes) }
+    }
+    pub fn l2_x4_avx2(r: &[f32], step: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+        for c in &codes {
+            check(r, c);
+        }
+        debug_assert_eq!(r.len(), step.len());
+        unsafe { avx2::sq8_l2_x4(r, step, codes) }
+    }
+    pub fn dot_avx512(w: &[f32], codes: &[u8]) -> f32 {
+        check(w, codes);
+        unsafe { avx512::sq8_dot(w, codes) }
+    }
+    pub fn dot_x4_avx512(w: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+        for c in &codes {
+            check(w, c);
+        }
+        unsafe { avx512::sq8_dot_x4(w, codes) }
+    }
+    pub fn l2_avx512(r: &[f32], step: &[f32], codes: &[u8]) -> f32 {
+        check(r, codes);
+        debug_assert_eq!(r.len(), step.len());
+        unsafe { avx512::sq8_l2(r, step, codes) }
+    }
+    pub fn l2_x4_avx512(r: &[f32], step: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+        for c in &codes {
+            check(r, c);
+        }
+        debug_assert_eq!(r.len(), step.len());
+        unsafe { avx512::sq8_l2_x4(r, step, codes) }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+const AVX2_KERNELS: Sq8Kernels = Sq8Kernels {
+    dot: x86_shims::dot_avx2,
+    dot_x4: x86_shims::dot_x4_avx2,
+    l2: x86_shims::l2_avx2,
+    l2_x4: x86_shims::l2_x4_avx2,
+};
+
+#[cfg(target_arch = "x86_64")]
+const AVX512_KERNELS: Sq8Kernels = Sq8Kernels {
+    dot: x86_shims::dot_avx512,
+    dot_x4: x86_shims::dot_x4_avx512,
+    l2: x86_shims::l2_avx512,
+    l2_x4: x86_shims::l2_x4_avx512,
+};
+
+/// Resolve the fused SQ8 kernel set at the active SIMD level. Call once per
+/// query (it is baked into [`PreparedSq8`]); the returned pointers are
+/// branch-free on the ISA.
+///
+/// SSE has no u8-expand worth using, so it falls back to scalar. The AVX-512
+/// kernels need AVX2+FMA for their byte-expand and pinned reduction, so the
+/// Avx512 level only upgrades past AVX2 when both are detected.
+pub fn sq8_kernels() -> Sq8Kernels {
+    sq8_kernels_at(active_level())
+}
+
+/// [`sq8_kernels`] at an explicit level (benchmarks and bit-exactness tests
+/// pin levels).
+pub fn sq8_kernels_at(level: SimdLevel) -> Sq8Kernels {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 if level.supported() && SimdLevel::Avx2.supported() => AVX512_KERNELS,
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 | SimdLevel::Avx2 if SimdLevel::Avx2.supported() => AVX2_KERNELS,
+        _ => SCALAR_KERNELS,
+    }
+}
+
+/// Per-query prepared state for scanning SQ8 codes directly — built once per
+/// query by [`prepare`](PreparedSq8::prepare), then applied to every bucket's
+/// raw `u8` rows with zero allocation and no decode pass.
+pub enum PreparedSq8<'a> {
+    /// Inner-product folding: internal distance `−(bias + Σ w_d·c_d)`.
+    Ip {
+        /// `w_d = q_d·step_d`.
+        w: Vec<f32>,
+        /// `Σ q_d·vmin_d`.
+        bias: f32,
+        /// Resolved kernel set.
+        kern: Sq8Kernels,
+    },
+    /// L2 folding: internal distance `Σ (r_d − c_d·step_d)²`.
+    L2 {
+        /// `r_d = q_d − vmin_d`.
+        r: Vec<f32>,
+        /// Borrowed from the quantizer: per-dimension step.
+        step: &'a [f32],
+        /// Resolved kernel set.
+        kern: Sq8Kernels,
+    },
+}
+
+impl<'a> PreparedSq8<'a> {
+    /// Fold `query` against the quantizer's affine parameters for `metric`.
+    ///
+    /// Cosine callers must normalize the query first and pass
+    /// [`Metric::InnerProduct`] — the IVF layer already rewrites cosine that
+    /// way at build time.
+    ///
+    /// # Panics
+    /// Panics if `query.len()` differs from the quantizer dimension, or for
+    /// metrics other than L2/IP.
+    pub fn prepare(vmin: &[f32], vstep: &'a [f32], query: &[f32], metric: Metric) -> Self {
+        assert_eq!(query.len(), vmin.len(), "prepared SQ8 query dimension mismatch");
+        assert_eq!(vmin.len(), vstep.len());
+        let kern = sq8_kernels();
+        match metric {
+            Metric::InnerProduct => {
+                let w: Vec<f32> = query.iter().zip(vstep).map(|(q, s)| q * s).collect();
+                let bias = query.iter().zip(vmin).map(|(q, m)| q * m).sum();
+                PreparedSq8::Ip { w, bias, kern }
+            }
+            Metric::L2 => {
+                let r: Vec<f32> = query.iter().zip(vmin).map(|(q, m)| q - m).collect();
+                PreparedSq8::L2 { r, step: vstep, kern }
+            }
+            m => panic!("metric {m} cannot be folded into an SQ8 scan"),
+        }
+    }
+
+    /// Internal distance (smaller = better) from the prepared query to one
+    /// raw code row.
+    #[inline]
+    pub fn distance(&self, codes: &[u8]) -> f32 {
+        match self {
+            PreparedSq8::Ip { w, bias, kern } => -(bias + (kern.dot)(w, codes)),
+            PreparedSq8::L2 { r, step, kern } => (kern.l2)(r, step, codes),
+        }
+    }
+
+    /// Internal distances to four raw code rows in one register-tiled pass.
+    /// Bit-identical per row to [`distance`](Self::distance).
+    #[inline]
+    pub fn distance_x4(&self, codes: [&[u8]; 4]) -> [f32; 4] {
+        match self {
+            PreparedSq8::Ip { w, bias, kern } => {
+                let d = (kern.dot_x4)(w, codes);
+                [-(bias + d[0]), -(bias + d[1]), -(bias + d[2]), -(bias + d[3])]
+            }
+            PreparedSq8::L2 { r, step, kern } => (kern.l2_x4)(r, step, codes),
+        }
+    }
+
+    /// The code length this prepared query expects.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        match self {
+            PreparedSq8::Ip { w, .. } => w.len(),
+            PreparedSq8::L2 { r, .. } => r.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quantizer(dim: usize) -> (Vec<f32>, Vec<f32>) {
+        let vmin: Vec<f32> = (0..dim).map(|d| -1.0 + (d as f32 * 0.17).sin() * 0.5).collect();
+        let vstep: Vec<f32> = (0..dim).map(|d| 0.003 + (d as f32 * 0.29).cos().abs() * 0.01).collect();
+        (vmin, vstep)
+    }
+
+    fn codes(dim: usize, seed: usize) -> Vec<u8> {
+        (0..dim).map(|d| ((d * 37 + seed * 101 + 13) % 256) as u8).collect()
+    }
+
+    fn query(dim: usize) -> Vec<f32> {
+        (0..dim).map(|d| (d as f32 * 0.23).sin()).collect()
+    }
+
+    const DIMS: [usize; 9] = [1, 7, 15, 16, 17, 32, 48, 100, 128];
+
+    #[test]
+    fn every_supported_level_is_bit_identical_to_scalar() {
+        // Direct per-level kernel calls — no global force_level, so this is
+        // race-free under parallel test threads.
+        for dim in DIMS {
+            let q = query(dim);
+            let (vmin, vstep) = quantizer(dim);
+            let w: Vec<f32> = q.iter().zip(&vstep).map(|(a, b)| a * b).collect();
+            let r: Vec<f32> = q.iter().zip(&vmin).map(|(a, b)| a - b).collect();
+            let c = codes(dim, 1);
+            let ref_dot = scalar::sq8_dot(&w, &c);
+            let ref_l2 = scalar::sq8_l2(&r, &vstep, &c);
+            for level in SimdLevel::ALL {
+                if !level.supported() {
+                    continue;
+                }
+                let k = sq8_kernels_at(level);
+                assert_eq!((k.dot)(&w, &c).to_bits(), ref_dot.to_bits(), "dot {level} dim={dim}");
+                assert_eq!(
+                    (k.l2)(&r, &vstep, &c).to_bits(),
+                    ref_l2.to_bits(),
+                    "l2 {level} dim={dim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_matches_untiled_at_every_level() {
+        for dim in DIMS {
+            let q = query(dim);
+            let (vmin, vstep) = quantizer(dim);
+            let w: Vec<f32> = q.iter().zip(&vstep).map(|(a, b)| a * b).collect();
+            let r: Vec<f32> = q.iter().zip(&vmin).map(|(a, b)| a - b).collect();
+            let rows: Vec<Vec<u8>> = (0..4).map(|j| codes(dim, j)).collect();
+            let tile = [&rows[0][..], &rows[1][..], &rows[2][..], &rows[3][..]];
+            for level in SimdLevel::ALL {
+                if !level.supported() {
+                    continue;
+                }
+                let k = sq8_kernels_at(level);
+                let dot4 = (k.dot_x4)(&w, tile);
+                let l24 = (k.l2_x4)(&r, &vstep, tile);
+                for j in 0..4 {
+                    assert_eq!(
+                        dot4[j].to_bits(),
+                        (k.dot)(&w, tile[j]).to_bits(),
+                        "dot_x4 {level} dim={dim} row={j}"
+                    );
+                    assert_eq!(
+                        l24[j].to_bits(),
+                        (k.l2)(&r, &vstep, tile[j]).to_bits(),
+                        "l2_x4 {level} dim={dim} row={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matches_decode_then_distance_approximately() {
+        // The fused kernels reassociate the dequant algebra, so they are not
+        // bit-equal to decode-then-distance — but they must agree to float
+        // tolerance on every metric.
+        for dim in DIMS {
+            let q = query(dim);
+            let (vmin, vstep) = quantizer(dim);
+            let c = codes(dim, 3);
+            let decoded: Vec<f32> =
+                c.iter().zip(vmin.iter().zip(&vstep)).map(|(&b, (m, s))| m + b as f32 * s).collect();
+            let ip = PreparedSq8::prepare(&vmin, &vstep, &q, Metric::InnerProduct);
+            let l2 = PreparedSq8::prepare(&vmin, &vstep, &q, Metric::L2);
+            let ref_ip = super::super::distance(Metric::InnerProduct, &q, &decoded);
+            let ref_l2 = super::super::distance(Metric::L2, &q, &decoded);
+            let tol = 1e-3 * (1.0 + ref_ip.abs().max(ref_l2.abs()));
+            assert!((ip.distance(&c) - ref_ip).abs() <= tol, "ip dim={dim}");
+            assert!((l2.distance(&c) - ref_l2).abs() <= tol, "l2 dim={dim}");
+        }
+    }
+
+    #[test]
+    fn prepared_x4_matches_single() {
+        let dim = 96;
+        let q = query(dim);
+        let (vmin, vstep) = quantizer(dim);
+        let rows: Vec<Vec<u8>> = (0..4).map(|j| codes(dim, j + 7)).collect();
+        let tile = [&rows[0][..], &rows[1][..], &rows[2][..], &rows[3][..]];
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            let p = PreparedSq8::prepare(&vmin, &vstep, &q, metric);
+            let x4 = p.distance_x4(tile);
+            for j in 0..4 {
+                assert_eq!(x4[j].to_bits(), p.distance(tile[j]).to_bits(), "{metric} row={j}");
+            }
+        }
+    }
+}

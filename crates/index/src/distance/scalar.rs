@@ -100,6 +100,105 @@ pub fn inner_product_x4(q: [&[f32]; 4], v: &[f32]) -> [f32; 4] {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Fused SQ8 quantized-scan kernels (scalar reference).
+//
+// These score u8 codes directly — no decoded scratch buffer — with the
+// dequantization folded into per-query state prepared once per query
+// (see `crate::distance::quant`). The accumulation order is pinned to a
+// 16-virtual-lane layout mirroring one AVX-512 register (two AVX2
+// registers): lane `l` accumulates elements `16·i + l` with true fused
+// multiply-adds, lanes reduce as `s_j = lane_j + lane_{j+8}` followed by the
+// tree `((s0+s4)+(s1+s5)) + ((s2+s6)+(s3+s7))`, and the `n % 16` tail is
+// accumulated sequentially afterwards. The AVX2/AVX-512 kernels replicate
+// this sequence exactly, so every ISA level is bit-identical to this
+// reference.
+// ---------------------------------------------------------------------------
+
+/// Fold 16 pinned lanes exactly like the SIMD kernels: 512→256 by adding the
+/// upper half onto the lower, then the AVX2 horizontal tree.
+#[inline]
+fn reduce16(l: &[f32; 16]) -> f32 {
+    let mut s = [0.0f32; 8];
+    for j in 0..8 {
+        s[j] = l[j] + l[j + 8];
+    }
+    let t0 = s[0] + s[4];
+    let t1 = s[1] + s[5];
+    let t2 = s[2] + s[6];
+    let t3 = s[3] + s[7];
+    (t0 + t1) + (t2 + t3)
+}
+
+/// Fused SQ8 dot product `Σ_d w_d·c_d` over raw u8 codes.
+///
+/// With `w_d = q_d·step_d` prepared per query, `bias + Σ w_d·c_d` equals the
+/// inner product of the query with the decoded vector — one pass over the
+/// codes, no decode buffer.
+#[inline]
+pub fn sq8_dot(w: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(w.len(), codes.len());
+    let n = w.len();
+    let mut lanes = [0.0f32; 16];
+    let blocks = n / 16;
+    for i in 0..blocks {
+        let base = i * 16;
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane = (codes[base + l] as f32).mul_add(w[base + l], *lane);
+        }
+    }
+    let mut sum = reduce16(&lanes);
+    for i in blocks * 16..n {
+        sum = (codes[i] as f32).mul_add(w[i], sum);
+    }
+    sum
+}
+
+/// Fused SQ8 squared L2 `Σ_d (r_d − c_d·step_d)²` over raw u8 codes, with
+/// `r_d = q_d − vmin_d` prepared per query.
+#[inline]
+pub fn sq8_l2(r: &[f32], step: &[f32], codes: &[u8]) -> f32 {
+    debug_assert_eq!(r.len(), codes.len());
+    debug_assert_eq!(r.len(), step.len());
+    let n = r.len();
+    let mut lanes = [0.0f32; 16];
+    let blocks = n / 16;
+    for i in 0..blocks {
+        let base = i * 16;
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            let c = codes[base + l] as f32;
+            let u = (-c).mul_add(step[base + l], r[base + l]);
+            *lane = u.mul_add(u, *lane);
+        }
+    }
+    let mut sum = reduce16(&lanes);
+    for i in blocks * 16..n {
+        let c = codes[i] as f32;
+        let u = (-c).mul_add(step[i], r[i]);
+        sum = u.mul_add(u, sum);
+    }
+    sum
+}
+
+/// ×4-row tiled [`sq8_dot`]: four code rows against one prepared query.
+/// The scalar form simply delegates per row, which pins the tiled results
+/// bit-identical to the untiled kernel by construction.
+#[inline]
+pub fn sq8_dot_x4(w: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+    [sq8_dot(w, codes[0]), sq8_dot(w, codes[1]), sq8_dot(w, codes[2]), sq8_dot(w, codes[3])]
+}
+
+/// ×4-row tiled [`sq8_l2`]; see [`sq8_dot_x4`].
+#[inline]
+pub fn sq8_l2_x4(r: &[f32], step: &[f32], codes: [&[u8]; 4]) -> [f32; 4] {
+    [
+        sq8_l2(r, step, codes[0]),
+        sq8_l2(r, step, codes[1]),
+        sq8_l2(r, step, codes[2]),
+        sq8_l2(r, step, codes[3]),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -332,13 +332,40 @@ impl IvfIndex {
         q
     }
 
+    /// Fold a raw query into everything the bucket scans need — cosine
+    /// normalization, the hoisted float kernels (FLAT), the fused SQ8 state
+    /// (`w_d = q_d·step_d` + bias for IP, `r_d = q_d − vmin_d` for L2), or
+    /// the stride-256 PQ ADC table. Built **once per query**; every probed
+    /// bucket then scans raw rows with zero per-bucket allocation.
+    pub fn prepare<'a>(&'a self, query: &[f32]) -> PreparedQuery<'a> {
+        self.prepare_from_inner(self.prepare_query(query))
+    }
+
+    /// [`IvfIndex::prepare`] for a query already in the internal metric
+    /// convention (no re-normalization — cosine normalizing twice would
+    /// perturb bits).
+    fn prepare_from_inner<'a>(&'a self, q: Vec<f32>) -> PreparedQuery<'a> {
+        let state = match self.variant {
+            IvfVariant::Flat => PreparedState::Flat {
+                pair: distance::pair_kernel(self.inner_metric),
+                tile4: distance::tile4_kernel(self.inner_metric),
+            },
+            IvfVariant::Sq8 => PreparedState::Sq8(
+                self.sq.as_ref().expect("sq present").prepare(&q, self.inner_metric),
+            ),
+            IvfVariant::Pq => PreparedState::Pq(
+                self.pq.as_ref().expect("pq present").distance_table(&q, self.inner_metric),
+            ),
+        };
+        PreparedQuery { query: q, state }
+    }
+
     /// Step 2 of query processing: scan one bucket into `heap`.
     ///
-    /// `query` must already be prepared via the internal metric convention
-    /// (callers inside this crate pass the output of `prepare_query`). For
-    /// IVF_PQ this builds the ADC table per call; multi-bucket searches use
-    /// [`IvfIndex::pq_table`] + [`IvfIndex::scan_bucket_with_table`] to build
-    /// it once per query.
+    /// `query` must already be prepared via the internal metric convention.
+    /// This is the prepare-per-call convenience form; multi-bucket searches
+    /// use [`IvfIndex::prepare`] + [`IvfIndex::scan_bucket_prepared`] so
+    /// per-query state is built once, not once per bucket.
     pub fn scan_bucket(
         &self,
         b: usize,
@@ -346,55 +373,149 @@ impl IvfIndex {
         heap: &mut TopK,
         allow: Option<&dyn Fn(i64) -> bool>,
     ) {
-        let table = self.pq_table(query);
-        self.scan_bucket_with_table(b, query, table.as_ref(), heap, allow);
+        let prepared = self.prepare_from_inner(query.to_vec());
+        self.scan_bucket_prepared(b, &prepared, heap, allow);
     }
 
-    /// Per-query ADC lookup table (IVF_PQ only; `None` otherwise).
-    pub fn pq_table(&self, query: &[f32]) -> Option<pq::DistanceTable> {
-        self.pq.as_ref().map(|q| q.distance_table(query, self.inner_metric))
-    }
-
-    /// Scan one bucket reusing a precomputed ADC table.
-    pub fn scan_bucket_with_table(
+    /// Scan one bucket with per-query state prepared up front.
+    ///
+    /// The loop bodies are split by filter presence: the unfiltered paths
+    /// run register-tiled ×4 row groups with **zero per-row indirect calls**
+    /// (no `allow` closure dispatch in the hot loop), while the filtered
+    /// paths check the predicate before computing anything. PQ scans
+    /// additionally early-abandon against [`TopK::threshold`] every 8
+    /// subquantizers (exactness preserved — see
+    /// [`pq::DistanceTable::lookup_pruned`]).
+    pub fn scan_bucket_prepared(
         &self,
         b: usize,
-        query: &[f32],
-        table: Option<&pq::DistanceTable>,
+        prepared: &PreparedQuery<'_>,
         heap: &mut TopK,
         allow: Option<&dyn Fn(i64) -> bool>,
     ) {
         let bucket = &self.buckets[b];
-        match &bucket.data {
-            BucketData::Flat(vs) => {
-                for (row, v) in vs.iter().enumerate() {
-                    let id = bucket.ids[row];
-                    if allow.is_none_or(|f| f(id)) {
-                        heap.push(id, distance::distance(self.inner_metric, query, v));
+        let ids = &bucket.ids[..];
+        match (&bucket.data, &prepared.state) {
+            (BucketData::Flat(vs), PreparedState::Flat { pair, tile4 }) => {
+                let q = prepared.query.as_slice();
+                match allow {
+                    None => {
+                        let n = vs.len();
+                        let groups = n / 4;
+                        if let Some(tile) = tile4 {
+                            // L2/IP are bitwise symmetric in their arguments,
+                            // so the 4 data rows ride in the kernel's query
+                            // slot (same trick as the batch engines).
+                            for g in 0..groups {
+                                let base = g * 4;
+                                let rows =
+                                    [vs.get(base), vs.get(base + 1), vs.get(base + 2), vs.get(base + 3)];
+                                let d = tile(rows, q);
+                                for (j, dj) in d.iter().enumerate() {
+                                    heap.push(ids[base + j], *dj);
+                                }
+                            }
+                        } else {
+                            for g in 0..groups {
+                                let base = g * 4;
+                                for j in 0..4 {
+                                    heap.push(ids[base + j], pair(q, vs.get(base + j)));
+                                }
+                            }
+                        }
+                        for (row, &id) in ids.iter().enumerate().skip(groups * 4) {
+                            heap.push(id, pair(q, vs.get(row)));
+                        }
+                    }
+                    Some(f) => {
+                        for (row, v) in vs.iter().enumerate() {
+                            let id = ids[row];
+                            if f(id) {
+                                heap.push(id, pair(q, v));
+                            }
+                        }
                     }
                 }
             }
-            BucketData::Sq8(codes) => {
-                let q = self.sq.as_ref().expect("sq present");
-                let mut decoded = vec![0.0f32; self.dim];
-                for (row, code) in codes.chunks_exact(self.dim).enumerate() {
-                    let id = bucket.ids[row];
-                    if allow.is_none_or(|f| f(id)) {
-                        q.decode_into(code, &mut decoded);
-                        heap.push(id, distance::distance(self.inner_metric, query, &decoded));
+            (BucketData::Sq8(codes), PreparedState::Sq8(p)) => {
+                let dim = self.dim;
+                match allow {
+                    None => {
+                        let n = ids.len();
+                        let groups = n / 4;
+                        for g in 0..groups {
+                            let base = g * 4;
+                            let off = base * dim;
+                            let rows = [
+                                &codes[off..off + dim],
+                                &codes[off + dim..off + 2 * dim],
+                                &codes[off + 2 * dim..off + 3 * dim],
+                                &codes[off + 3 * dim..off + 4 * dim],
+                            ];
+                            let d = p.distance_x4(rows);
+                            for (j, dj) in d.iter().enumerate() {
+                                heap.push(ids[base + j], *dj);
+                            }
+                        }
+                        for row in groups * 4..n {
+                            heap.push(ids[row], p.distance(&codes[row * dim..(row + 1) * dim]));
+                        }
+                    }
+                    Some(f) => {
+                        for (row, code) in codes.chunks_exact(dim).enumerate() {
+                            let id = ids[row];
+                            if f(id) {
+                                heap.push(id, p.distance(code));
+                            }
+                        }
                     }
                 }
             }
-            BucketData::Pq(codes) => {
-                let q = self.pq.as_ref().expect("pq present");
-                let table = table.expect("ADC table for PQ scan");
-                for (row, code) in codes.chunks_exact(q.m()).enumerate() {
-                    let id = bucket.ids[row];
-                    if allow.is_none_or(|f| f(id)) {
-                        heap.push(id, table.lookup(code));
+            (BucketData::Pq(codes), PreparedState::Pq(table)) => {
+                let m = table.m();
+                match allow {
+                    None => {
+                        let n = ids.len();
+                        let groups = n / 4;
+                        for g in 0..groups {
+                            let base = g * 4;
+                            let off = base * m;
+                            let rows = [
+                                &codes[off..off + m],
+                                &codes[off + m..off + 2 * m],
+                                &codes[off + 2 * m..off + 3 * m],
+                                &codes[off + 3 * m..off + 4 * m],
+                            ];
+                            // Threshold re-read per group: it only tightens
+                            // as pushes land, so pruning stays exact.
+                            let d = table.lookup4_pruned(rows, heap.threshold());
+                            for (j, dj) in d.iter().enumerate() {
+                                if let Some(dist) = dj {
+                                    heap.push(ids[base + j], *dist);
+                                }
+                            }
+                        }
+                        for row in groups * 4..n {
+                            if let Some(dist) =
+                                table.lookup_pruned(&codes[row * m..(row + 1) * m], heap.threshold())
+                            {
+                                heap.push(ids[row], dist);
+                            }
+                        }
+                    }
+                    Some(f) => {
+                        for (row, code) in codes.chunks_exact(m).enumerate() {
+                            let id = ids[row];
+                            if f(id) {
+                                if let Some(dist) = table.lookup_pruned(code, heap.threshold()) {
+                                    heap.push(id, dist);
+                                }
+                            }
+                        }
                     }
                 }
             }
+            _ => unreachable!("prepared state always matches the index variant"),
         }
     }
 
@@ -407,14 +528,38 @@ impl IvfIndex {
         if query.len() != self.dim {
             return Err(IndexError::DimensionMismatch { expected: self.dim, got: query.len() });
         }
-        let q = self.prepare_query(query);
-        let probes = self.probe_buckets(&q, params.nprobe);
-        let table = self.pq_table(&q);
+        let prepared = self.prepare(query);
+        let probes = self.probe_buckets(prepared.query(), params.nprobe);
         let mut heap = TopK::new(params.k.max(1));
         for b in probes {
-            self.scan_bucket_with_table(b, &q, table.as_ref(), &mut heap, allow);
+            self.scan_bucket_prepared(b, &prepared, &mut heap, allow);
         }
         Ok(heap.into_sorted())
+    }
+}
+
+/// Per-query state for the bucket scans, built once by [`IvfIndex::prepare`]
+/// and reused across every probed bucket (and across buckets fanned out on
+/// the executor — it is `Sync` borrow-only data).
+pub struct PreparedQuery<'a> {
+    /// The query in the internal metric convention (cosine-normalized).
+    query: Vec<f32>,
+    state: PreparedState<'a>,
+}
+
+enum PreparedState<'a> {
+    /// Hoisted float kernels for FLAT buckets.
+    Flat { pair: distance::PairKernel, tile4: Option<distance::Tile4Kernel> },
+    /// Fused direct-on-u8 state for SQ8 buckets.
+    Sq8(distance::quant::PreparedSq8<'a>),
+    /// Stride-256 ADC table for PQ buckets.
+    Pq(pq::DistanceTable),
+}
+
+impl PreparedQuery<'_> {
+    /// The internally-prepared query vector (what coarse probing consumes).
+    pub fn query(&self) -> &[f32] {
+        &self.query
     }
 }
 

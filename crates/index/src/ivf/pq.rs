@@ -23,12 +23,28 @@ pub struct ProductQuantizer {
 }
 
 /// Per-query ADC lookup table.
+///
+/// Rows are padded to a fixed stride of 256 entries (the `u8` code domain),
+/// so a code byte indexes its row as `row[c as usize]` through a
+/// `&[f32; 256]` view — no bounds check, no `sub * ksub + c` multiply, all
+/// safe code. Padding slots beyond `ksub` are zero and unreachable (codes
+/// are always `< ksub`).
 pub struct DistanceTable {
     m: usize,
-    ksub: usize,
-    /// `m * ksub` sub-distances, row-major by sub-space.
+    /// `m * 256` sub-distances, one stride-256 row per sub-space.
     table: Vec<f32>,
+    /// Whether partial sums grow monotonically (all entries ≥ 0), which is
+    /// what makes early-abandon pruning exact. True for L2 tables; false for
+    /// inner product, whose negated-similarity entries can be negative.
+    monotone: bool,
 }
+
+/// Fixed row stride: one slot per possible `u8` code.
+const STRIDE: usize = 256;
+
+/// How many sub-quantizer rows the pruned lookups consume between threshold
+/// checks (the ISSUE's "check every 8 subquantizers").
+const PRUNE_BLOCK: usize = 8;
 
 impl DistanceTable {
     /// Total distance of an encoded vector: sum of one lookup per sub-space.
@@ -36,11 +52,124 @@ impl DistanceTable {
     pub fn lookup(&self, code: &[u8]) -> f32 {
         debug_assert_eq!(code.len(), self.m);
         let mut sum = 0.0;
-        for (sub, &c) in code.iter().enumerate() {
-            sum += self.table[sub * self.ksub + c as usize];
+        for (row, &c) in self.rows().zip(code) {
+            sum += row[c as usize];
         }
         sum
     }
+
+    /// Total distances of four encoded vectors in one pass: each stride-256
+    /// row is resolved once and feeds four accumulators. Bit-identical per
+    /// code to [`lookup`](Self::lookup) (same left-to-right sum per code).
+    #[inline]
+    pub fn lookup4(&self, codes: [&[u8]; 4]) -> [f32; 4] {
+        for c in &codes {
+            debug_assert_eq!(c.len(), self.m);
+        }
+        let mut sums = [0.0f32; 4];
+        for (sub, row) in self.rows().enumerate() {
+            for (s, c) in sums.iter_mut().zip(&codes) {
+                *s += row[c[sub] as usize];
+            }
+        }
+        sums
+    }
+
+    /// [`lookup`](Self::lookup) with early abandon: once the partial sum
+    /// strictly exceeds `threshold` (checked every [`PRUNE_BLOCK`] rows),
+    /// returns `None`.
+    ///
+    /// Pruning only fires on monotone (L2) tables, and only on a *strict*
+    /// `>`: the heap keeps a candidate iff `cand < worst` (ties lose), so a
+    /// partial already beyond the current worst can never be retained —
+    /// abandoned codes are exactly those [`crate::topk::TopK::push`] would
+    /// reject. Passing a non-monotone table or `f32::INFINITY` threshold
+    /// degrades gracefully to a full lookup.
+    #[inline]
+    pub fn lookup_pruned(&self, code: &[u8], threshold: f32) -> Option<f32> {
+        debug_assert_eq!(code.len(), self.m);
+        if !self.monotone || threshold == f32::INFINITY {
+            return Some(self.lookup(code));
+        }
+        let mut sum = 0.0;
+        let mut sub = 0;
+        for block in self.table.chunks_exact(STRIDE * PRUNE_BLOCK) {
+            for (row, &c) in rows_of(block).zip(&code[sub..sub + PRUNE_BLOCK]) {
+                sum += row[c as usize];
+            }
+            sub += PRUNE_BLOCK;
+            if sum > threshold {
+                return None;
+            }
+        }
+        for (row, &c) in rows_of(&self.table[sub * STRIDE..]).zip(&code[sub..]) {
+            sum += row[c as usize];
+        }
+        (sum <= threshold).then_some(sum)
+    }
+
+    /// ×4-tiled [`lookup_pruned`](Self::lookup_pruned): four codes advance
+    /// together, each dropping out of the live set the moment its partial
+    /// exceeds `threshold`. Surviving sums are bit-identical to
+    /// [`lookup`](Self::lookup).
+    #[inline]
+    pub fn lookup4_pruned(&self, codes: [&[u8]; 4], threshold: f32) -> [Option<f32>; 4] {
+        for c in &codes {
+            debug_assert_eq!(c.len(), self.m);
+        }
+        if !self.monotone || threshold == f32::INFINITY {
+            return self.lookup4(codes).map(Some);
+        }
+        let mut sums = [0.0f32; 4];
+        let mut live = [true; 4];
+        let mut sub = 0;
+        for block in self.table.chunks_exact(STRIDE * PRUNE_BLOCK) {
+            for (off, row) in rows_of(block).enumerate() {
+                for (s, c) in sums.iter_mut().zip(&codes) {
+                    *s += row[c[sub + off] as usize];
+                }
+            }
+            sub += PRUNE_BLOCK;
+            let mut any = false;
+            for (l, s) in live.iter_mut().zip(&sums) {
+                *l = *l && *s <= threshold;
+                any |= *l;
+            }
+            if !any {
+                return [None; 4];
+            }
+        }
+        for (off, row) in rows_of(&self.table[sub * STRIDE..]).enumerate() {
+            for (s, c) in sums.iter_mut().zip(&codes) {
+                *s += row[c[sub + off] as usize];
+            }
+        }
+        let mut out = [None; 4];
+        for ((o, l), s) in out.iter_mut().zip(&live).zip(&sums) {
+            if *l && *s <= threshold {
+                *o = Some(*s);
+            }
+        }
+        out
+    }
+
+    /// Number of sub-quantizers (bytes per code).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    #[inline]
+    fn rows(&self) -> impl Iterator<Item = &[f32; STRIDE]> {
+        rows_of(&self.table)
+    }
+}
+
+/// View a stride-256 region as fixed-size rows; the `try_into` always
+/// succeeds and lets `row[u8 as usize]` index without a bounds check.
+#[inline]
+fn rows_of(region: &[f32]) -> impl Iterator<Item = &[f32; STRIDE]> {
+    region.chunks_exact(STRIDE).map(|r| r.try_into().expect("stride-256 row"))
 }
 
 impl ProductQuantizer {
@@ -130,18 +259,21 @@ impl ProductQuantizer {
     /// cosine is handled by normalization in the IVF layer).
     pub fn distance_table(&self, query: &[f32], metric: Metric) -> DistanceTable {
         debug_assert_eq!(query.len(), self.dim);
-        let mut table = vec![0.0f32; self.m * self.ksub];
+        // Stride-256 rows: slots past ksub stay zero and are never indexed
+        // (codes are < ksub). L2 entries are all ≥ 0, making partial sums
+        // monotone — the invariant early-abandon pruning relies on.
+        let mut table = vec![0.0f32; self.m * STRIDE];
         for sub in 0..self.m {
             let qpart = &query[sub * self.sub_dim..(sub + 1) * self.sub_dim];
             for (c, codeword) in self.codebooks[sub].iter().enumerate() {
-                table[sub * self.ksub + c] = match metric {
+                table[sub * STRIDE + c] = match metric {
                     Metric::L2 => crate::distance::l2_sq(qpart, codeword),
                     Metric::InnerProduct => -crate::distance::inner_product(qpart, codeword),
                     m => panic!("PQ distance table for unsupported metric {m}"),
                 };
             }
         }
-        DistanceTable { m: self.m, ksub: self.ksub, table }
+        DistanceTable { m: self.m, table, monotone: metric == Metric::L2 }
     }
 
     /// Heap size of the codebooks.
@@ -226,6 +358,83 @@ mod tests {
             let via_decode = -crate::distance::inner_product(&q, &pq.decode(&code));
             assert!((via_table - via_decode).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn tiled_and_pruned_lookups_match_lookup_bitwise() {
+        // m=20 exercises two full PRUNE_BLOCKs plus a 4-row tail.
+        let data = random_data(300, 40, 11);
+        let pq = ProductQuantizer::train(&data, 20, 6, 8, 12).unwrap();
+        let q: Vec<f32> = data.get(3).to_vec();
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            let table = pq.distance_table(&q, metric);
+            let codes: Vec<Vec<u8>> = (0..8)
+                .map(|i| {
+                    let mut c = Vec::new();
+                    pq.encode_into(data.get(i * 7), &mut c);
+                    c
+                })
+                .collect();
+            for group in codes.chunks(4) {
+                let tile = [&group[0][..], &group[1][..], &group[2][..], &group[3][..]];
+                let tiled = table.lookup4(tile);
+                let no_prune = table.lookup4_pruned(tile, f32::INFINITY);
+                for j in 0..4 {
+                    let reference = table.lookup(tile[j]);
+                    assert_eq!(tiled[j].to_bits(), reference.to_bits(), "{metric} lookup4");
+                    assert_eq!(no_prune[j], Some(reference), "{metric} lookup4_pruned(inf)");
+                    assert_eq!(
+                        table.lookup_pruned(tile[j], f32::INFINITY),
+                        Some(reference),
+                        "{metric} lookup_pruned(inf)"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_lookup_abandons_exactly_above_threshold() {
+        let data = random_data(300, 40, 13);
+        let pq = ProductQuantizer::train(&data, 20, 6, 8, 14).unwrap();
+        let q: Vec<f32> = data.get(5).to_vec();
+        let table = pq.distance_table(&q, Metric::L2);
+        let full: Vec<(Vec<u8>, f32)> = (0..40)
+            .map(|i| {
+                let mut c = Vec::new();
+                pq.encode_into(data.get(i * 5), &mut c);
+                let d = table.lookup(&c);
+                (c, d)
+            })
+            .collect();
+        // Median distance as threshold: survivors must return their exact
+        // full sum, everything strictly above must be abandoned.
+        let mut dists: Vec<f32> = full.iter().map(|(_, d)| *d).collect();
+        dists.sort_by(f32::total_cmp);
+        let threshold = dists[dists.len() / 2];
+        for (c, d) in &full {
+            let got = table.lookup_pruned(c, threshold);
+            if *d <= threshold {
+                assert_eq!(got, Some(*d), "survivor must keep exact distance");
+            } else {
+                assert_eq!(got, None, "dist {d} > {threshold} must abandon");
+            }
+        }
+        for group in full.chunks(4) {
+            if group.len() < 4 {
+                continue;
+            }
+            let tile = [&group[0].0[..], &group[1].0[..], &group[2].0[..], &group[3].0[..]];
+            let got = table.lookup4_pruned(tile, threshold);
+            for (g, (_, d)) in got.iter().zip(group) {
+                assert_eq!(*g, (*d <= threshold).then_some(*d));
+            }
+        }
+        // IP tables are non-monotone: pruning must degrade to full lookups.
+        let ip = pq.distance_table(&q, Metric::InnerProduct);
+        let mut c = Vec::new();
+        pq.encode_into(data.get(0), &mut c);
+        assert_eq!(ip.lookup_pruned(&c, f32::NEG_INFINITY), Some(ip.lookup(&c)));
     }
 
     #[test]

@@ -77,6 +77,18 @@ impl ScalarQuantizer {
         }
     }
 
+    /// Fold `query` into per-query fused-scan state for `metric` — done once
+    /// per query, after which every bucket's raw codes are scored directly
+    /// (no decode pass, no scratch allocation). See
+    /// [`crate::distance::quant`].
+    pub fn prepare<'a>(
+        &'a self,
+        query: &[f32],
+        metric: crate::metric::Metric,
+    ) -> crate::distance::quant::PreparedSq8<'a> {
+        crate::distance::quant::PreparedSq8::prepare(&self.vmin, &self.vstep, query, metric)
+    }
+
     /// Decode `code` (one vector, `dim` bytes) into `out`.
     pub fn decode_into(&self, code: &[u8], out: &mut [f32]) {
         debug_assert_eq!(code.len(), self.dim());

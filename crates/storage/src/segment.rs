@@ -286,6 +286,14 @@ impl Segment {
         let stats = ScanStats { rows_scanned: self.live_rows() as u64, used_index: false };
 
         if let Some(index) = self.index(field) {
+            // No tombstones and no user filter: take the unfiltered search
+            // path, whose bucket scans run register-tiled with zero per-row
+            // predicate dispatch. Wrapping an always-true closure here would
+            // force every scanned row through an indirect call.
+            if self.deleted.is_empty() && allow.is_none() {
+                let res = index.search(query, params)?;
+                return Ok((res, ScanStats { used_index: true, ..stats }));
+            }
             let deleted = Arc::clone(&self.deleted);
             let pred = move |id: i64| !deleted.contains(&id) && allow.is_none_or(|f| f(id));
             let res = index.search_filtered(query, params, &pred)?;
