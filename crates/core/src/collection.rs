@@ -6,9 +6,11 @@
 //! attribute filtering, and multi-vector query.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use milvus_exec::coalesce::Submitted;
 use milvus_exec::Executor;
+use milvus_index::batch::{cache_aware_search_exec_hetk, BatchOptions};
 use milvus_index::registry::IndexRegistry;
 use milvus_obs as obs;
 use milvus_index::traits::SearchParams;
@@ -16,7 +18,7 @@ use milvus_index::{Metric, Neighbor, VectorSet};
 use milvus_query::filtering::RangePredicate;
 use milvus_query::multivector::MultiVectorEngine;
 use milvus_storage::object_store::ObjectStore;
-use milvus_storage::segment::merge_segment_results;
+use milvus_storage::segment::{merge_segment_results, Segment};
 use milvus_storage::snapshot::Snapshot;
 use milvus_storage::{InsertBatch, LsmEngine, Schema};
 use parking_lot::{Condvar, Mutex};
@@ -24,6 +26,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::config::CollectionConfig;
 use crate::error::{MilvusError, Result};
 use crate::ingest::AsyncIngest;
+use crate::scheduler::{group_batch, QueryScheduler, SearchRequest};
 
 /// One search result with the user-facing score (similarities un-negated).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +77,7 @@ pub struct Collection {
     registry: IndexRegistry,
     ingest: AsyncIngest,
     inflight_builds: Arc<(Mutex<usize>, Condvar)>,
+    scheduler: QueryScheduler,
 }
 
 impl Collection {
@@ -101,9 +105,11 @@ impl Collection {
             None => Arc::new(LsmEngine::new(schema.clone(), config.lsm.clone(), store, None)?),
         };
         let ingest = AsyncIngest::start(Arc::clone(&engine), config.flush_interval);
+        let scheduler = QueryScheduler::new(&name, config.scheduler.clone());
         Ok(Self {
             trace_label: Arc::from(name.as_str()),
             name,
+            scheduler,
             schema,
             config,
             engine,
@@ -197,23 +203,73 @@ impl Collection {
     }
 
     /// Vector query (§2.1): top-k over `field` across all segments of the
-    /// query's snapshot, merged. Admits a trace through the sampler; queries
-    /// slower than the configured threshold land in the slow-query log.
+    /// query's snapshot, merged.
+    ///
+    /// Every query first passes the scheduler's admission controller: when
+    /// the collection's in-flight budget (sized from flight-recorder
+    /// signals) is exhausted the query is shed with
+    /// [`MilvusError::Overloaded`] instead of queueing behind a backlog it
+    /// would only deepen. Admitted queries on an idle scheduler pass
+    /// straight to the serial path; queries arriving while another is
+    /// running are coalesced — held up to the configured window, then run
+    /// as one batched segment sweep whose results are bit-identical to the
+    /// serial path (the batch engines share each segment's data rows across
+    /// a ×4 query tile instead of re-streaming them per query).
+    pub fn search(&self, field: &str, query: &[f32], params: &SearchParams) -> Result<Vec<SearchHit>> {
+        let _slot = self.scheduler.admit()?;
+        if !self.scheduler.coalescing() || !self.dim_matches(field, query.len()) {
+            // Mismatched dims (and unknown fields) take the serial path so
+            // the caller sees the exact legacy error.
+            return self.search_serial(field, query, params);
+        }
+        let started = Instant::now();
+        let req = SearchRequest::Vector {
+            field: field.to_string(),
+            query: query.to_vec(),
+            params: params.clone(),
+        };
+        match self.scheduler.submit(req, |batch| self.run_coalesced(batch)) {
+            Submitted::Pass(guard) => {
+                // Idle scheduler: run serially while the guard holds the
+                // rendezvous open, so concurrent arrivals coalesce behind us.
+                self.scheduler.note_passthrough();
+                let out = self.search_serial(field, query, params);
+                drop(guard);
+                out
+            }
+            Submitted::Coalesced { result, batch, led, waited } => {
+                if led {
+                    self.scheduler.note_batch(batch);
+                }
+                self.account_coalesced("search", started, waited, Some(params), &result);
+                result
+            }
+        }
+    }
+
+    /// The serial (non-coalesced) path: one traced fan-out of per-segment
+    /// scans. Admits a trace through the sampler; queries slower than the
+    /// configured threshold land in the slow-query log.
     ///
     /// Each fanned-out segment task prepares the query once per index
     /// (cosine normalization, hoisted kernels, fused SQ8 state or the PQ ADC
     /// table — `IvfIndex::prepare`) and reuses it across every probed
     /// bucket; with no tombstones and no filter, the segment takes the
     /// unfiltered scan path with zero per-row predicate dispatch.
-    pub fn search(&self, field: &str, query: &[f32], params: &SearchParams) -> Result<Vec<SearchHit>> {
+    fn search_serial(
+        &self,
+        field: &str,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> Result<Vec<SearchHit>> {
         let mut trace = obs::Trace::start("search", &self.trace_label);
         let result = self.search_traced(field, query, params, &mut trace);
         trace.finish();
         result
     }
 
-    /// [`Self::search`] recording into a caller-supplied trace (the sampler
-    /// is bypassed; pass [`obs::Trace::disabled`] for none).
+    /// [`Self::search`]'s serial path recording into a caller-supplied trace
+    /// (the sampler is bypassed; pass [`obs::Trace::disabled`] for none).
     pub fn search_traced(
         &self,
         field: &str,
@@ -225,7 +281,24 @@ impl Collection {
         obs::counter(obs::QUERY_TOTAL, &self.name).inc();
         obs::counter(obs::QUERY_NPROBE_EFFECTIVE, &self.name).add(params.nprobe as u64);
         obs::counter(obs::QUERY_EF_EFFECTIVE, &self.name).add(params.ef as u64);
-        let result = (|| {
+        let result = self.search_core(field, query, params, trace);
+        if result.is_err() {
+            obs::counter(obs::QUERY_ERRORS, &self.name).inc();
+        }
+        result
+    }
+
+    /// The uncounted search core: all the work, none of the query metrics —
+    /// so the coalesced path (which accounts per *caller*, not per
+    /// execution) can reuse it without double counting.
+    fn search_core(
+        &self,
+        field: &str,
+        query: &[f32],
+        params: &SearchParams,
+        trace: &mut obs::Trace,
+    ) -> Result<Vec<SearchHit>> {
+        {
             let t = trace.begin();
             let metric = self.metric_of(field)?;
             trace.record(obs::SpanKind::Parse, t);
@@ -265,16 +338,14 @@ impl Collection {
             let merged = merge_segment_results(&lists, params.k);
             trace.record(obs::SpanKind::HeapMerge, t);
             Ok(self.to_hits(metric, merged))
-        })();
-        if result.is_err() {
-            obs::counter(obs::QUERY_ERRORS, &self.name).inc();
         }
-        result
     }
 
     /// Batch vector query: one result list per query, the queries themselves
     /// fanned out across the global executor (each query's segment scans
     /// nest inside — the pool's help-while-waiting scopes make that safe).
+    /// Concurrent per-query calls rendezvous in the scheduler like any other
+    /// search; [`Self::search_many`] goes straight to the batch engines.
     pub fn search_batch(
         &self,
         field: &str,
@@ -287,13 +358,89 @@ impl Collection {
             .collect()
     }
 
+    /// Explicit batch entry (the REST `search_batch` endpoint): the queries
+    /// are already a batch, so skip the coalescing window entirely and go
+    /// straight into the grouped batch execution. One admission slot covers
+    /// the whole call.
+    pub fn search_many(
+        &self,
+        field: &str,
+        queries: &VectorSet,
+        params: &SearchParams,
+    ) -> Result<Vec<Vec<SearchHit>>> {
+        let _slot = self.scheduler.admit()?;
+        let started = Instant::now();
+        let m = queries.len();
+        let reqs: Vec<SearchRequest> = (0..m)
+            .map(|i| SearchRequest::Vector {
+                field: field.to_string(),
+                query: queries.get(i).to_vec(),
+                params: params.clone(),
+            })
+            .collect();
+        let out: Result<Vec<Vec<SearchHit>>> = self.run_coalesced(reqs).into_iter().collect();
+        obs::histogram(obs::QUERY_LATENCY, &self.name)
+            .observe_us(started.elapsed().as_micros() as u64);
+        obs::counter(obs::QUERY_TOTAL, &self.name).add(m as u64);
+        obs::counter(obs::QUERY_NPROBE_EFFECTIVE, &self.name).add((params.nprobe * m) as u64);
+        obs::counter(obs::QUERY_EF_EFFECTIVE, &self.name).add((params.ef * m) as u64);
+        if out.is_err() {
+            obs::counter(obs::QUERY_ERRORS, &self.name).inc();
+        }
+        out
+    }
+
     /// Attribute filtering (§2.1, §4.1): top-k under `attr ∈ [lo, hi]`.
     ///
     /// Per segment this picks between the attribute-first exact scan
     /// (strategy A) and the bitmap-filtered index search (strategy B) with a
     /// simple cost rule; the full strategy suite incl. partition-based E
     /// lives in `milvus-query` and is exercised by the benchmarks.
+    #[allow(clippy::too_many_arguments)]
     pub fn filtered_search(
+        &self,
+        field: &str,
+        query: &[f32],
+        attr: &str,
+        lo: f64,
+        hi: f64,
+        params: &SearchParams,
+    ) -> Result<Vec<SearchHit>> {
+        let _slot = self.scheduler.admit()?;
+        if !self.scheduler.coalescing() || !self.dim_matches(field, query.len()) {
+            return self.filtered_search_serial(field, query, attr, lo, hi, params);
+        }
+        let started = Instant::now();
+        let req = SearchRequest::Filtered {
+            field: field.to_string(),
+            query: query.to_vec(),
+            attr: attr.to_string(),
+            lo,
+            hi,
+            params: params.clone(),
+        };
+        match self.scheduler.submit(req, |batch| self.run_coalesced(batch)) {
+            Submitted::Pass(guard) => {
+                self.scheduler.note_passthrough();
+                let out = self.filtered_search_serial(field, query, attr, lo, hi, params);
+                drop(guard);
+                out
+            }
+            Submitted::Coalesced { result, batch, led, waited } => {
+                if led {
+                    self.scheduler.note_batch(batch);
+                }
+                // The serial filtered path counts total/latency/errors but
+                // not nprobe/ef — mirror that.
+                self.account_coalesced("filtered_search", started, waited, None, &result);
+                result
+            }
+        }
+    }
+
+    /// The serial (non-coalesced) filtered path, trace-sampled.
+    #[allow(clippy::too_many_arguments)]
+    fn filtered_search_serial(
         &self,
         field: &str,
         query: &[f32],
@@ -308,7 +455,8 @@ impl Collection {
         result
     }
 
-    /// [`Self::filtered_search`] recording into a caller-supplied trace.
+    /// [`Self::filtered_search`]'s serial path recording into a
+    /// caller-supplied trace.
     #[allow(clippy::too_many_arguments)]
     pub fn filtered_search_traced(
         &self,
@@ -322,7 +470,26 @@ impl Collection {
     ) -> Result<Vec<SearchHit>> {
         let _span = obs::span(obs::QUERY_LATENCY, &self.name);
         obs::counter(obs::QUERY_TOTAL, &self.name).inc();
-        let result = (|| {
+        let result = self.filtered_search_core(field, query, attr, lo, hi, params, trace);
+        if result.is_err() {
+            obs::counter(obs::QUERY_ERRORS, &self.name).inc();
+        }
+        result
+    }
+
+    /// The uncounted filtered-search core (see [`Self::search_core`]).
+    #[allow(clippy::too_many_arguments)]
+    fn filtered_search_core(
+        &self,
+        field: &str,
+        query: &[f32],
+        attr: &str,
+        lo: f64,
+        hi: f64,
+        params: &SearchParams,
+        trace: &mut obs::Trace,
+    ) -> Result<Vec<SearchHit>> {
+        {
             let t = trace.begin();
             let metric = self.metric_of(field)?;
             let ai = self
@@ -424,11 +591,225 @@ impl Collection {
             let merged = merge_segment_results(&lists, params.k);
             trace.record(obs::SpanKind::HeapMerge, t);
             Ok(self.to_hits(metric, merged))
-        })();
+        }
+    }
+
+    /// Whether `field` exists and its vectors have exactly `len` dims.
+    fn dim_matches(&self, field: &str, len: usize) -> bool {
+        self.schema.vector_fields.iter().find(|f| f.name == field).map(|f| f.dim) == Some(len)
+    }
+
+    /// Per-caller accounting for a coalesced execution: the serial path
+    /// counts these inside `search_traced`/`filtered_search_traced`; here
+    /// the leader ran the shared core uncounted, so each caller records its
+    /// own totals, its own end-to-end latency (including the coalesce wait)
+    /// and a sampled trace carrying the wait as a `coalesce_wait` span.
+    fn account_coalesced(
+        &self,
+        op: &'static str,
+        started: Instant,
+        waited: Duration,
+        params: Option<&SearchParams>,
+        result: &Result<Vec<SearchHit>>,
+    ) {
+        obs::histogram(obs::QUERY_LATENCY, &self.name)
+            .observe_us(started.elapsed().as_micros() as u64);
+        obs::counter(obs::QUERY_TOTAL, &self.name).inc();
+        if let Some(p) = params {
+            obs::counter(obs::QUERY_NPROBE_EFFECTIVE, &self.name).add(p.nprobe as u64);
+            obs::counter(obs::QUERY_EF_EFFECTIVE, &self.name).add(p.ef as u64);
+        }
         if result.is_err() {
             obs::counter(obs::QUERY_ERRORS, &self.name).inc();
         }
-        result
+        let mut trace = obs::Trace::start(op, &self.trace_label);
+        trace.record_window(obs::SpanKind::CoalesceWait, started, started + waited, |_| {});
+        trace.finish();
+    }
+
+    /// Execute one coalesced batch (the leader's closure): partition into
+    /// parameter-compatible groups, run each multi-query vector group as a
+    /// batched segment sweep, everything else through the serial cores.
+    /// Failures come back as values — one `Result` per query, in submit
+    /// order — because a panic here would strand the followers.
+    fn run_coalesced(&self, reqs: Vec<SearchRequest>) -> Vec<Result<Vec<SearchHit>>> {
+        let mut out: Vec<Option<Result<Vec<SearchHit>>>> = reqs.iter().map(|_| None).collect();
+        for group in group_batch(&reqs) {
+            let batchable = group.len() > 1
+                && matches!(reqs[group[0]], SearchRequest::Vector { .. });
+            if batchable {
+                self.run_vector_group(&reqs, &group, &mut out);
+            } else {
+                for &qi in &group {
+                    out[qi] = Some(self.run_one_serial(&reqs[qi]));
+                }
+            }
+        }
+        out.into_iter().map(|o| o.expect("every coalesced query answered")).collect()
+    }
+
+    /// One request through its uncounted serial core (coalesced-path
+    /// fallback for singleton groups, filtered queries, and error replay).
+    fn run_one_serial(&self, req: &SearchRequest) -> Result<Vec<SearchHit>> {
+        match req {
+            SearchRequest::Vector { field, query, params } => {
+                self.search_core(field, query, params, &mut obs::Trace::disabled())
+            }
+            SearchRequest::Filtered { field, query, attr, lo, hi, params } => self
+                .filtered_search_core(
+                    field,
+                    query,
+                    attr,
+                    *lo,
+                    *hi,
+                    params,
+                    &mut obs::Trace::disabled(),
+                ),
+        }
+    }
+
+    /// Run a group of parameter-compatible vector queries as one batched
+    /// sweep: segment-major, each segment's rows/buckets streamed once for
+    /// the whole group. `k` may differ within the group — exhaustive-scan
+    /// engines run once at `max(k)` and each query's sorted list is
+    /// truncated to its own `k` (exact: the top-j of a sorted top-k is the
+    /// top-j). Results are bit-identical to the serial path.
+    fn run_vector_group(
+        &self,
+        reqs: &[SearchRequest],
+        idxs: &[usize],
+        out: &mut [Option<Result<Vec<SearchHit>>>],
+    ) {
+        let SearchRequest::Vector { field, params, .. } = &reqs[idxs[0]] else {
+            unreachable!("vector groups hold vector requests")
+        };
+        let Ok(metric) = self.metric_of(field) else {
+            for &qi in idxs {
+                out[qi] = Some(Err(MilvusError::NoSuchField(field.clone())));
+            }
+            return;
+        };
+        let fi = self.schema.vector_field_index(field).expect("checked by metric_of");
+        let dim = self.schema.vector_fields[fi].dim;
+        let queries: Vec<&[f32]> = idxs
+            .iter()
+            .map(|&qi| {
+                let SearchRequest::Vector { query, .. } = &reqs[qi] else { unreachable!() };
+                query.as_slice()
+            })
+            .collect();
+        if queries.iter().any(|q| q.len() != dim) {
+            // Mismatched dims replay serially for the exact legacy error.
+            for &qi in idxs {
+                out[qi] = Some(self.run_one_serial(&reqs[qi]));
+            }
+            return;
+        }
+        let ks: Vec<usize> = idxs.iter().map(|&qi| reqs[qi].params().k.max(1)).collect();
+        let kmax = *ks.iter().max().expect("group is non-empty");
+        let mut qs = VectorSet::new(dim);
+        for q in &queries {
+            qs.push(q);
+        }
+        let batch_params = SearchParams { k: kmax, ..params.clone() };
+
+        let snap = self.engine.snapshot();
+        let mut per_seg: Vec<Vec<Vec<Neighbor>>> = Vec::with_capacity(snap.segments.len());
+        for seg in &snap.segments {
+            match self.scan_segment_group(seg, field, fi, metric, &qs, &ks, &batch_params) {
+                Ok(lists) => per_seg.push(lists),
+                Err(_) => {
+                    // Errors aren't Clone; replay serially so every caller
+                    // gets its own exact error (or result).
+                    for &qi in idxs {
+                        out[qi] = Some(self.run_one_serial(&reqs[qi]));
+                    }
+                    return;
+                }
+            }
+        }
+        for (j, &qi) in idxs.iter().enumerate() {
+            let lists: Vec<Vec<Neighbor>> =
+                per_seg.iter_mut().map(|seg_lists| std::mem::take(&mut seg_lists[j])).collect();
+            let merged = merge_segment_results(&lists, ks[j]);
+            out[qi] = Some(Ok(self.to_hits(metric, merged)));
+        }
+    }
+
+    /// One segment's contribution to a batched vector group, mirroring the
+    /// serial dispatch in `Segment::search_field_stats` case by case so the
+    /// per-query results stay bit-identical:
+    ///
+    /// * index + no tombstones — `VectorIndex::search_batch` (IVF overrides
+    ///   with the bucket-major sweep; the default is the serial loop). A
+    ///   heterogeneous-`k` group is safe at `max(k)` only for IVF's
+    ///   exhaustive bucket scans, so graph/tree indexes fall back to
+    ///   per-query calls at each query's own `k`.
+    /// * no index + no tombstones + SIMD metric — the zero-copy cache-aware
+    ///   batch engine over the segment's own columns.
+    /// * anything else (tombstones, binary metrics) — the serial per-query
+    ///   scan.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_segment_group(
+        &self,
+        seg: &Segment,
+        field: &str,
+        fi: usize,
+        metric: Metric,
+        qs: &VectorSet,
+        ks: &[usize],
+        batch_params: &SearchParams,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        let m = qs.len();
+        let delete_free = seg.deleted().is_empty();
+        let per_query = |params: &SearchParams| -> Result<Vec<Vec<Neighbor>>> {
+            (0..m)
+                .map(|j| {
+                    let p = SearchParams { k: ks[j], ..params.clone() };
+                    let (list, _) =
+                        seg.search_field_stats(&self.schema, field, qs.get(j), &p, None)?;
+                    Ok(list)
+                })
+                .collect()
+        };
+        if let Some(index) = seg.index(field) {
+            if !delete_free {
+                return per_query(batch_params);
+            }
+            let uniform_k = ks.iter().all(|&k| k == ks[0]);
+            if uniform_k || index.as_ivf().is_some() {
+                // The serial path's scan-fault hook lives inside
+                // `search_field_stats`; batched paths bypass it, so fire it
+                // here once per segment.
+                milvus_storage::segment::apply_scan_fault(seg.id);
+                let p = SearchParams { k: if uniform_k { ks[0] } else { batch_params.k },
+                    ..batch_params.clone() };
+                let mut lists = index.search_batch(qs, &p)?;
+                for (list, &k) in lists.iter_mut().zip(ks) {
+                    list.truncate(k);
+                }
+                return Ok(lists);
+            }
+            return per_query(batch_params);
+        }
+        if delete_free && matches!(metric, Metric::L2 | Metric::InnerProduct | Metric::Cosine) {
+            milvus_storage::segment::apply_scan_fault(seg.id);
+            let opts = BatchOptions {
+                metric,
+                threads: Executor::global().threads(),
+                ..Default::default()
+            };
+            let data = seg.data();
+            return Ok(cache_aware_search_exec_hetk(
+                Executor::global(),
+                &data.vectors[fi],
+                &data.row_ids,
+                qs,
+                ks,
+                &opts,
+            ));
+        }
+        per_query(batch_params)
     }
 
     /// Materialize one entity.

@@ -27,6 +27,8 @@ pub struct CollectionConfig {
     pub wal_path: Option<PathBuf>,
     /// Index build parameters (nlist, HNSW M, seeds…).
     pub build_params: milvus_index::BuildParams,
+    /// Query-scheduler knobs (coalescing window, admission budget).
+    pub scheduler: SchedulerConfig,
 }
 
 impl Default for CollectionConfig {
@@ -38,6 +40,7 @@ impl Default for CollectionConfig {
             flush_interval: Duration::from_secs(1),
             wal_path: None,
             build_params: milvus_index::BuildParams::default(),
+            scheduler: SchedulerConfig::default(),
         }
     }
 }
@@ -60,6 +63,52 @@ impl CollectionConfig {
                 kmeans_iters: 5,
                 ..Default::default()
             },
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// Query-scheduler tuning: the coalescing window and the admission budget.
+/// Lives here (not in `milvus-exec`) because the knobs are per-collection.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Master switch for cross-query coalescing. Off, every search takes
+    /// the serial path directly (admission control still applies).
+    pub coalescing: bool,
+    /// Maximum time the oldest pending query is held before its batch runs.
+    pub window: Duration,
+    /// Pending-query count that triggers immediate batch execution (and the
+    /// cap on one batch's size).
+    pub max_batch: usize,
+    /// Hard ceiling on concurrently admitted queries per collection.
+    pub max_inflight: usize,
+    /// Floor the adaptive budget never drops below, so a load spike can
+    /// shed most — but never all — traffic.
+    pub min_inflight: usize,
+    /// Adapt the in-flight budget from flight-recorder signals (windowed
+    /// p99, executor queue depth, degraded-search rate). Off, the budget is
+    /// pinned at `max_inflight`.
+    pub adaptive: bool,
+    /// Windowed p99 latency above which the adaptive budget contracts —
+    /// the collection's latency SLO, in microseconds.
+    pub slo_p99_us: u64,
+    /// Minimum interval between admission-signal refreshes; between
+    /// refreshes the cached budget is reused so admission stays a pair of
+    /// atomic ops per query.
+    pub signal_refresh: Duration,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            coalescing: true,
+            window: Duration::from_millis(1),
+            max_batch: 32,
+            max_inflight: 1024,
+            min_inflight: 4,
+            adaptive: true,
+            slo_p99_us: 250_000,
+            signal_refresh: Duration::from_millis(20),
         }
     }
 }

@@ -20,6 +20,18 @@ pub enum MilvusError {
     /// The ingestion worker is no longer running.
     IngestStopped,
 
+    /// The query scheduler's admission controller shed this query: the
+    /// collection's in-flight budget was exhausted. Surfaced as HTTP 429;
+    /// the caller should retry with backoff.
+    Overloaded {
+        /// Collection whose budget was exhausted.
+        collection: String,
+        /// Queries in flight when this one was refused.
+        inflight: usize,
+        /// The effective in-flight budget at refusal time.
+        budget: usize,
+    },
+
     /// Bubbled up from the storage layer.
     Storage(milvus_storage::StorageError),
 
@@ -40,6 +52,10 @@ impl fmt::Display for MilvusError {
             MilvusError::NoSuchField(name) => write!(f, "no such vector field: {name}"),
             MilvusError::NoSuchAttribute(name) => write!(f, "no such attribute: {name}"),
             MilvusError::IngestStopped => write!(f, "ingest worker stopped"),
+            MilvusError::Overloaded { collection, inflight, budget } => write!(
+                f,
+                "collection {collection} overloaded: {inflight} queries in flight, budget {budget}"
+            ),
             MilvusError::Storage(e) => write!(f, "storage error: {e}"),
             MilvusError::Index(e) => write!(f, "index error: {e}"),
             MilvusError::Query(e) => write!(f, "query error: {e}"),

@@ -19,6 +19,7 @@ pub mod config;
 pub mod error;
 pub mod ingest;
 pub mod rest;
+pub mod scheduler;
 
 pub use capabilities::Capabilities;
 pub use collection::{Collection, EntityView, SearchHit};

@@ -14,7 +14,8 @@
 //! | `POST /collections/{name}/entities` | `{ids, vectors, attributes?}` | insert |
 //! | `POST /collections/{name}/entities/delete` | `{ids}` | delete |
 //! | `POST /collections/{name}/flush` | — | flush barrier (§5.1) |
-//! | `POST /collections/{name}/search` | `{vector, k, nprobe?, ef?, filter?}` | vector / filtered query |
+//! | `POST /collections/{name}/search` | `{vector, k, nprobe?, ef?, filter?}` | vector / filtered query (429 when the admission controller sheds) |
+//! | `POST /collections/{name}/search_batch` | `{vectors, k, nprobe?, ef?}` | explicit batch query: skips the coalescing window, straight into the batch engines |
 //! | `POST /collections/{name}/explain` | `{vector, k, nprobe?, ef?}` | search under a forced trace; returns an `EXPLAIN ANALYZE` report |
 //! | `POST /collections/{name}/index` | `{field?, index_type}` | build index |
 //! | `GET /metrics` | — | Prometheus text exposition of all metric series |
@@ -147,6 +148,16 @@ fn handle_connection(stream: TcpStream, milvus: &Milvus) -> std::io::Result<()> 
 
 fn err(status: &'static str, msg: impl std::fmt::Display) -> (&'static str, Value) {
     (status, json!({ "error": msg.to_string() }))
+}
+
+/// Map a search-path failure to its HTTP status: a query shed by the
+/// admission controller is `429 Too Many Requests` (retry with backoff);
+/// everything else on the search path is a client error.
+fn search_err(e: crate::MilvusError) -> (&'static str, Value) {
+    match &e {
+        crate::MilvusError::Overloaded { .. } => err("429 Too Many Requests", e),
+        _ => err("400 Bad Request", e),
+    }
 }
 
 fn span_to_json(s: &milvus_obs::Span) -> Value {
@@ -339,6 +350,25 @@ impl Deserialize for SearchReq {
             nprobe: opt_field(v, "nprobe")?,
             ef: opt_field(v, "ef")?,
             filter: opt_field(v, "filter")?,
+        })
+    }
+}
+
+struct SearchBatchReq {
+    /// Row-major query vectors: one inner array per query.
+    vectors: Vec<Vec<f32>>,
+    k: usize,
+    nprobe: Option<usize>,
+    ef: Option<usize>,
+}
+
+impl Deserialize for SearchBatchReq {
+    fn from_value(v: &Value) -> Result<Self, serde_json::Error> {
+        Ok(SearchBatchReq {
+            vectors: req_field(v, "vectors")?,
+            k: opt_field(v, "k")?.unwrap_or(10),
+            nprobe: opt_field(v, "nprobe")?,
+            ef: opt_field(v, "ef")?,
         })
     }
 }
@@ -552,7 +582,51 @@ fn route(milvus: &Milvus, method: &str, path: &str, body: &[u8]) -> (&'static st
                             .collect::<Vec<_>>()
                     }),
                 ),
-                Err(e) => err("400 Bad Request", e),
+                Err(e) => search_err(e),
+            }
+        }
+
+        ("POST", ["collections", name, "search_batch"]) => {
+            let col = match milvus.collection(name) {
+                Ok(c) => c,
+                Err(e) => return err("404 Not Found", e),
+            };
+            let req: SearchBatchReq = match serde_json::from_slice(body) {
+                Ok(r) => r,
+                Err(e) => return err("400 Bad Request", e),
+            };
+            let mut sp = SearchParams::top_k(req.k);
+            if let Some(np) = req.nprobe {
+                sp.nprobe = np;
+            }
+            if let Some(ef) = req.ef {
+                sp.ef = ef;
+            }
+            let field = col.schema().vector_fields[0].name.clone();
+            let dim = col.schema().vector_fields[0].dim;
+            let mut qs = VectorSet::new(dim);
+            for v in &req.vectors {
+                if v.len() != dim {
+                    return err("400 Bad Request", format!("vector dim {} != {dim}", v.len()));
+                }
+                qs.push(v);
+            }
+            match col.search_many(&field, &qs, &sp) {
+                Ok(lists) => (
+                    "200 OK",
+                    json!({
+                        "results": lists
+                            .iter()
+                            .map(|hits| json!({
+                                "hits": hits
+                                    .iter()
+                                    .map(|h| json!({ "id": h.id, "score": h.score }))
+                                    .collect::<Vec<_>>()
+                            }))
+                            .collect::<Vec<_>>()
+                    }),
+                ),
+                Err(e) => search_err(e),
             }
         }
 
@@ -821,6 +895,44 @@ mod tests {
         let report = body["report"].as_str().expect("report text");
         assert!(report.starts_with("EXPLAIN ANALYZE op=search"), "{report}");
         assert!(report.contains("segment_scan"), "{report}");
+    }
+
+    #[test]
+    fn search_batch_endpoint() {
+        let (_server, addr) = server();
+        http(addr, "POST", "/collections", r#"{"name":"sb","dim":2}"#);
+        http(
+            addr,
+            "POST",
+            "/collections/sb/entities",
+            r#"{"ids":[1,2,3,4],"vectors":[[0.0,0.0],[1.0,0.0],[2.0,0.0],[3.0,0.0]]}"#,
+        );
+        http(addr, "POST", "/collections/sb/flush", "");
+        let (status, body) = http(
+            addr,
+            "POST",
+            "/collections/sb/search_batch",
+            r#"{"vectors":[[0.1,0.0],[2.9,0.0]],"k":2}"#,
+        );
+        assert!(status.contains("200"), "{status}: {body}");
+        assert_eq!(body["results"][0]["hits"][0]["id"], 1, "{body}");
+        assert_eq!(body["results"][1]["hits"][0]["id"], 4, "{body}");
+        // One mismatched query vector fails the whole batch up front.
+        let (status, _) = http(
+            addr,
+            "POST",
+            "/collections/sb/search_batch",
+            r#"{"vectors":[[0.1]],"k":1}"#,
+        );
+        assert!(status.contains("400"), "{status}");
+        // Unknown collection.
+        let (status, _) = http(
+            addr,
+            "POST",
+            "/collections/nope/search_batch",
+            r#"{"vectors":[[0.1,0.0]],"k":1}"#,
+        );
+        assert!(status.contains("404"), "{status}");
     }
 
     #[test]

@@ -12,8 +12,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use milvus_exec::coalesce::{Coalescer, Submitted};
 use milvus_index::traits::SearchParams;
-use milvus_index::Neighbor;
+use milvus_index::{Neighbor, VectorSet};
 use milvus_obs as obs;
 use milvus_storage::bufferpool::BufferPool;
 use milvus_storage::codec;
@@ -48,7 +49,16 @@ pub struct ReaderNode {
     /// Accumulated search time in nanoseconds — the per-node busy clock used
     /// to model node parallelism (Figure 10b).
     busy_ns: AtomicU64,
+    /// The reader-local query scheduler: concurrent [`ReaderNode::search`]
+    /// calls (the fan-in of `Cluster::search` under client concurrency)
+    /// rendezvous here and run as one segment-major batch; a lone caller
+    /// passes straight through to the serial path, which keeps serially
+    /// driven transcripts (the partition-chaos tests) byte-identical.
+    coalescer: Coalescer<ReaderQuery, StorageResult<Vec<Neighbor>>>,
 }
+
+/// One coalescable reader query: `(field, query, params)`, owned.
+type ReaderQuery = (String, Vec<f32>, SearchParams);
 
 impl ReaderNode {
     /// Register a new reader with the coordinator (direct transport).
@@ -83,6 +93,7 @@ impl ReaderNode {
             segments: RwLock::new(BTreeMap::new()),
             seen_epoch: AtomicU64::new(0),
             busy_ns: AtomicU64::new(0),
+            coalescer: Coalescer::new(milvus_exec::coalesce::CoalesceConfig::default()),
         })
     }
 
@@ -197,7 +208,38 @@ impl ReaderNode {
     }
 
     /// Search this reader's shards; results from all its segments merged.
+    ///
+    /// Routed through the reader-local scheduler: a lone call passes
+    /// straight to the serial traced path; calls arriving concurrently are
+    /// coalesced into one segment-major batch whose per-query results are
+    /// bit-identical to the serial path.
     pub fn search(
+        &self,
+        field: &str,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> StorageResult<Vec<Neighbor>> {
+        let started = Instant::now();
+        let req = (field.to_string(), query.to_vec(), params.clone());
+        match self.coalescer.submit(req, |batch| self.run_batch(batch)) {
+            Submitted::Pass(guard) => {
+                let out = self.search_serial(field, query, params);
+                drop(guard);
+                out
+            }
+            Submitted::Coalesced { result, .. } => {
+                // Per-caller accounting; the leader ran the shared batch
+                // uncounted.
+                obs::counter(obs::QUERY_TOTAL, "reader").inc();
+                obs::histogram(obs::QUERY_LATENCY, "reader")
+                    .observe_us(started.elapsed().as_micros() as u64);
+                result
+            }
+        }
+    }
+
+    /// The serial (non-coalesced) path: one traced sweep of all segments.
+    fn search_serial(
         &self,
         field: &str,
         query: &[f32],
@@ -207,6 +249,116 @@ impl ReaderNode {
         let result = self.search_traced(field, query, params, &mut trace);
         trace.finish();
         result
+    }
+
+    /// Execute one coalesced batch: group queries by identical parameters,
+    /// sweep the segments once per group (delete-free indexed segments take
+    /// `VectorIndex::search_batch` — IVF's bucket-major amortized sweep),
+    /// and merge per query. Failures are returned as values; any group
+    /// error is replayed per query so each caller gets its own exact error.
+    fn run_batch(&self, reqs: Vec<ReaderQuery>) -> Vec<StorageResult<Vec<Neighbor>>> {
+        let start = Instant::now();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        {
+            let mut index: std::collections::HashMap<(&str, &SearchParams), usize> =
+                std::collections::HashMap::new();
+            for (i, (field, _, params)) in reqs.iter().enumerate() {
+                match index.entry((field.as_str(), params)) {
+                    std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(i),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(groups.len());
+                        groups.push(vec![i]);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Option<StorageResult<Vec<Neighbor>>>> =
+            reqs.iter().map(|_| None).collect();
+        for group in groups {
+            let (field, _, params) = &reqs[group[0]];
+            let queries: Vec<&[f32]> =
+                group.iter().map(|&qi| reqs[qi].1.as_slice()).collect();
+            match self.run_group(field, params, &queries) {
+                Ok(merged) => {
+                    for (&qi, res) in group.iter().zip(merged) {
+                        out[qi] = Some(Ok(res));
+                    }
+                }
+                Err(_) => {
+                    for &qi in &group {
+                        let (field, query, params) = &reqs[qi];
+                        out[qi] = Some(self.search_uncounted(field, query, params));
+                    }
+                }
+            }
+        }
+        // The batch ran once; its wall time is the node's busy time.
+        self.busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out.into_iter().map(|o| o.expect("every coalesced query answered")).collect()
+    }
+
+    /// One parameter-identical group over all loaded segments, merged per
+    /// query. Mirrors `Segment::search_field_stats` dispatch case by case.
+    fn run_group(
+        &self,
+        field: &str,
+        params: &SearchParams,
+        queries: &[&[f32]],
+    ) -> StorageResult<Vec<Vec<Neighbor>>> {
+        let dim = self.schema.vector_fields.iter().find(|f| f.name == field).map(|f| f.dim);
+        let batchable = dim.is_some_and(|d| queries.iter().all(|q| q.len() == d));
+        let mut per_query: Vec<Vec<Vec<Neighbor>>> =
+            queries.iter().map(|_| Vec::new()).collect();
+        let segments = self.segments.read();
+        for segs in segments.values() {
+            for seg in segs {
+                if let Some(index) = seg.index(field).filter(|_| {
+                    batchable && seg.deleted().is_empty()
+                }) {
+                    // The serial path's scan-fault hook lives inside
+                    // `search_field_stats`; the batched sweep bypasses it.
+                    milvus_storage::segment::apply_scan_fault(seg.id);
+                    let mut qs = VectorSet::new(dim.expect("batchable implies dim"));
+                    for q in queries {
+                        qs.push(q);
+                    }
+                    let lists = index.search_batch(&qs, params)?;
+                    for (j, list) in lists.into_iter().enumerate() {
+                        per_query[j].push(list);
+                    }
+                    continue;
+                }
+                for (j, q) in queries.iter().enumerate() {
+                    let (list, _) =
+                        seg.search_field_stats(&self.schema, field, q, params, None)?;
+                    per_query[j].push(list);
+                }
+            }
+        }
+        Ok(per_query
+            .into_iter()
+            .map(|lists| milvus_storage::segment::merge_segment_results(&lists, params.k))
+            .collect())
+    }
+
+    /// The serial computation without metrics or tracing (coalesced-path
+    /// error replay).
+    fn search_uncounted(
+        &self,
+        field: &str,
+        query: &[f32],
+        params: &SearchParams,
+    ) -> StorageResult<Vec<Neighbor>> {
+        let segments = self.segments.read();
+        let mut lists = Vec::new();
+        for segs in segments.values() {
+            for seg in segs {
+                let (list, _) =
+                    seg.search_field_stats(&self.schema, field, query, params, None)?;
+                lists.push(list);
+            }
+        }
+        Ok(milvus_storage::segment::merge_segment_results(&lists, params.k))
     }
 
     /// [`Self::search`] recording into a caller-supplied trace. Segment-scan

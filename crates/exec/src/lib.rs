@@ -46,6 +46,8 @@ use std::time::{Duration, Instant};
 use milvus_obs as obs;
 use parking_lot::{Condvar, Mutex};
 
+pub mod coalesce;
+
 /// A queued unit of work. Scoped tasks are transmuted to `'static`; the
 /// scope guarantees they complete before the borrowed frame unwinds.
 type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -70,10 +72,26 @@ thread_local! {
     static CURRENT_WORKER: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
 }
 
+/// Scheduling lane for a spawned task. Workers drain every `Normal` task
+/// they can see (own deque plus steals) before touching the `Low` lane, so
+/// background work (speculative scans, deprioritized queries) only runs on
+/// capacity the foreground path is not using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Foreground lane — the default for all existing callers.
+    #[default]
+    Normal,
+    /// Background lane, drained only when no `Normal` task is available.
+    Low,
+}
+
 struct Shared {
     id: u64,
     /// One lock-based deque per worker — the "per-worker injector queues".
     deques: Vec<Mutex<VecDeque<QueuedTask>>>,
+    /// Second, low-priority lane: same shape, only consulted when the
+    /// primary deques (own + stealable) are all empty.
+    low_deques: Vec<Mutex<VecDeque<QueuedTask>>>,
     /// Round-robin cursor for external submissions.
     next_queue: AtomicUsize,
     /// Tasks currently queued (not yet picked up).
@@ -118,29 +136,33 @@ fn pop_matching_back(dq: &mut VecDeque<QueuedTask>, filter: Option<usize>) -> Op
 impl Shared {
     /// Pop a task. Workers pass their own index and prefer their own deque;
     /// scope waiters additionally pass `filter = Some(scope tag)` so they
-    /// only ever execute tasks belonging to their own scope.
+    /// only ever execute tasks belonging to their own scope. The whole
+    /// primary lane — own front plus every stealable back — is exhausted
+    /// before the low-priority lane is consulted at all.
     fn take_task(&self, own: Option<usize>, filter: Option<usize>) -> Option<(Task, bool)> {
         if self.queued.load(Ordering::Acquire) == 0 {
             return None;
         }
-        if let Some(idx) = own {
-            if let Some(task) = pop_matching_front(&mut self.deques[idx].lock(), filter) {
-                self.note_dequeue();
-                return Some((task, false));
+        for lane in [&self.deques, &self.low_deques] {
+            if let Some(idx) = own {
+                if let Some(task) = pop_matching_front(&mut lane[idx].lock(), filter) {
+                    self.note_dequeue();
+                    return Some((task, false));
+                }
             }
-        }
-        let n = self.deques.len();
-        let start = own.map_or_else(|| self.next_queue.load(Ordering::Relaxed), |i| i + 1);
-        for off in 0..n {
-            let victim = (start + off) % n;
-            if Some(victim) == own {
-                continue;
-            }
-            // Steal from the back, opposite the owner's pop end.
-            if let Some(task) = pop_matching_back(&mut self.deques[victim].lock(), filter) {
-                self.note_dequeue();
-                self.steals_total.inc();
-                return Some((task, true));
+            let n = lane.len();
+            let start = own.map_or_else(|| self.next_queue.load(Ordering::Relaxed), |i| i + 1);
+            for off in 0..n {
+                let victim = (start + off) % n;
+                if Some(victim) == own {
+                    continue;
+                }
+                // Steal from the back, opposite the owner's pop end.
+                if let Some(task) = pop_matching_back(&mut lane[victim].lock(), filter) {
+                    self.note_dequeue();
+                    self.steals_total.inc();
+                    return Some((task, true));
+                }
             }
         }
         None
@@ -178,12 +200,16 @@ impl Shared {
         task();
     }
 
-    fn inject(&self, tag: usize, task: Task) {
+    fn inject(&self, tag: usize, task: Task, prio: Priority) {
         let idx = match CURRENT_WORKER.with(Cell::get) {
             Some((id, idx)) if id == self.id => idx,
             _ => self.next_queue.fetch_add(1, Ordering::Relaxed) % self.deques.len(),
         };
-        self.deques[idx].lock().push_back(QueuedTask { tag, task });
+        let lane = match prio {
+            Priority::Normal => &self.deques,
+            Priority::Low => &self.low_deques,
+        };
+        lane[idx].lock().push_back(QueuedTask { tag, task });
         // SeqCst pairs with the sleeper protocol in `worker_loop`: either the
         // worker's queued-recheck sees this increment, or our sleepers-load
         // below sees the worker's registration and we notify.
@@ -239,6 +265,7 @@ impl Executor {
         let shared = Arc::new(Shared {
             id: NEXT_EXEC_ID.fetch_add(1, Ordering::Relaxed),
             deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            low_deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             next_queue: AtomicUsize::new(0),
             queued: AtomicUsize::new(0),
             sleepers: AtomicUsize::new(0),
@@ -358,6 +385,18 @@ impl Executor {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        self.scoped_map_with(n, Priority::Normal, f)
+    }
+
+    /// [`Executor::scoped_map`] into an explicit lane. `Priority::Low`
+    /// fan-outs (deprioritized scheduler batches) yield the pool to any
+    /// concurrently queued foreground work; results and ordering are
+    /// otherwise identical.
+    pub fn scoped_map_with<R, F>(&self, n: usize, prio: Priority, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
         if n == 0 {
             return Vec::new();
         }
@@ -370,7 +409,7 @@ impl Executor {
             let f = &f;
             self.scope(|s| {
                 for i in 0..n {
-                    s.spawn(move || {
+                    s.spawn_prio(prio, move || {
                         let value = f(i);
                         // Safety: each task writes exactly one distinct slot,
                         // and the scope joins before `slots` is touched again.
@@ -487,6 +526,15 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     where
         F: FnOnce() + Send + 'env,
     {
+        self.spawn_prio(Priority::Normal, f)
+    }
+
+    /// [`Scope::spawn`] into an explicit lane: `Priority::Low` tasks run
+    /// only when no `Normal` task is queued anywhere in the pool.
+    pub fn spawn_prio<F>(&self, prio: Priority, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         let state = Arc::clone(&self.state);
         let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
@@ -507,7 +555,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         let task: Task = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task)
         };
-        self.exec.shared.inject(self.tag, task);
+        self.exec.shared.inject(self.tag, task, prio);
     }
 }
 
@@ -688,6 +736,32 @@ mod tests {
             max_seen.load(Ordering::SeqCst)
         );
         assert_eq!(gauge.get(), 0);
+    }
+
+    #[test]
+    fn low_priority_runs_after_all_normal_tasks() {
+        let pool = Executor::new("t_prio", 1);
+        let order: Mutex<Vec<&str>> = Mutex::new(Vec::new());
+        let started = AtomicBool::new(false);
+        pool.scope(|s| {
+            // Pin the single worker until both lanes have drained on the
+            // caller's helper thread, so pop order is observable.
+            s.spawn(|| {
+                started.store(true, Ordering::SeqCst);
+                while order.lock().len() < 2 {
+                    std::thread::yield_now();
+                }
+            });
+            while !started.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            // Low is queued first but must still run last.
+            s.spawn_prio(Priority::Low, || order.lock().push("L"));
+            s.spawn_prio(Priority::Normal, || order.lock().push("N"));
+        });
+        assert_eq!(*order.lock(), vec!["N", "L"]);
+        // Low-lane fan-out still returns index-ordered results.
+        assert_eq!(pool.scoped_map_with(4, Priority::Low, |i| i * 2), vec![0, 2, 4, 6]);
     }
 
     #[test]

@@ -481,6 +481,56 @@ pub fn sq8_cache_aware_search_exec(
     results
 }
 
+/// Heterogeneous-k entry over [`cache_aware_search_exec`] for coalesced
+/// scheduler batches whose queries agree on everything but `k`: run the
+/// whole batch once at `max(ks)`, then truncate each query's sorted list to
+/// its own `k`.
+///
+/// Exact for this engine because the scan is exhaustive: the sorted top-`j`
+/// is a prefix of the sorted top-`k` for `j <= k` (same total order on
+/// `(distance, id)`, same candidate set), so every truncated list is
+/// bit-identical to a per-query run at that query's own `k`. `opts.k` is
+/// ignored in favor of `ks`.
+pub fn cache_aware_search_exec_hetk(
+    exec: &Executor,
+    data: &VectorSet,
+    ids: &[i64],
+    queries: &VectorSet,
+    ks: &[usize],
+    opts: &BatchOptions,
+) -> Vec<Vec<Neighbor>> {
+    assert_eq!(queries.len(), ks.len(), "one k per query");
+    let kmax = ks.iter().copied().max().unwrap_or(1).max(1);
+    let opts = BatchOptions { k: kmax, ..opts.clone() };
+    let mut results = cache_aware_search_exec(exec, data, ids, queries, &opts);
+    for (r, &k) in results.iter_mut().zip(ks) {
+        r.truncate(k.max(1));
+    }
+    results
+}
+
+/// Heterogeneous-k entry over [`sq8_cache_aware_search_exec`]; same
+/// run-at-`max(ks)`-then-truncate contract and exactness argument as
+/// [`cache_aware_search_exec_hetk`].
+pub fn sq8_cache_aware_search_exec_hetk(
+    exec: &Executor,
+    codes: &[u8],
+    sq: &crate::ivf::sq8::ScalarQuantizer,
+    ids: &[i64],
+    queries: &VectorSet,
+    ks: &[usize],
+    opts: &BatchOptions,
+) -> Vec<Vec<Neighbor>> {
+    assert_eq!(queries.len(), ks.len(), "one k per query");
+    let kmax = ks.iter().copied().max().unwrap_or(1).max(1);
+    let opts = BatchOptions { k: kmax, ..opts.clone() };
+    let mut results = sq8_cache_aware_search_exec(exec, codes, sq, ids, queries, &opts);
+    for (r, &k) in results.iter_mut().zip(ks) {
+        r.truncate(k.max(1));
+    }
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -656,6 +706,38 @@ mod tests {
         let res = sq8_cache_aware_search_exec(&pool, &[], &sq, &[], &q, &opts);
         assert_eq!(res.len(), 3);
         assert!(res.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn hetk_wrappers_match_per_query_runs_at_each_own_k() {
+        use crate::ivf::sq8::ScalarQuantizer;
+        let pool = Executor::new("t_hetk", 3);
+        let data = random_set(157, 24, 41);
+        let ids: Vec<i64> = (0..157).map(|i| i * 7 + 2).collect();
+        let queries = random_set(6, 24, 42);
+        let ks = [1usize, 3, 9, 2, 9, 5];
+        let sq = ScalarQuantizer::train(&data);
+        let mut codes = Vec::new();
+        for row in data.iter() {
+            sq.encode_into(row, &mut codes);
+        }
+        for metric in [Metric::L2, Metric::InnerProduct] {
+            let opts = BatchOptions { k: 999, metric, threads: 3, l3_cache_bytes: 4096 };
+            let got = cache_aware_search_exec_hetk(&pool, &data, &ids, &queries, &ks, &opts);
+            for (qi, &k) in ks.iter().enumerate() {
+                let one = queries.gather(&[qi]);
+                let opts1 = BatchOptions { k, ..opts.clone() };
+                let solo = cache_aware_search_exec(&pool, &data, &ids, &one, &opts1);
+                assert_eq!(got[qi], solo[0], "flat hetk diverged {metric} q={qi} k={k}");
+            }
+            let got = sq8_cache_aware_search_exec_hetk(&pool, &codes, &sq, &ids, &queries, &ks, &opts);
+            for (qi, &k) in ks.iter().enumerate() {
+                let one = queries.gather(&[qi]);
+                let opts1 = BatchOptions { k, ..opts.clone() };
+                let solo = sq8_cache_aware_search_exec(&pool, &codes, &sq, &ids, &one, &opts1);
+                assert_eq!(got[qi], solo[0], "sq8 hetk diverged {metric} q={qi} k={k}");
+            }
+        }
     }
 
     #[test]

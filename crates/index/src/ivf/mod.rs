@@ -589,6 +589,48 @@ impl VectorIndex for IvfIndex {
         self.search_impl(query, params, Some(allow))
     }
 
+    /// Bucket-major batched search: prepare every query once, invert the
+    /// probe lists into bucket → queries, then sweep buckets in ascending
+    /// order scanning each for all of its queries back-to-back. Each
+    /// bucket's rows stay hot across the queries that probe it instead of
+    /// being re-streamed per query.
+    ///
+    /// Bit-identical to the per-query loop: the retained top-k set of
+    /// [`TopK`] is push-order-independent (total order on
+    /// `(distance, id)`), and the PQ early-abandon check is
+    /// exactness-preserving — a pruned row could never have entered the
+    /// heap — so reordering bucket visits cannot change any sorted output.
+    fn search_batch(
+        &self,
+        queries: &VectorSet,
+        params: &SearchParams,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        let m = queries.len();
+        for i in 0..m {
+            if queries.get(i).len() != self.dim {
+                return Err(IndexError::DimensionMismatch {
+                    expected: self.dim,
+                    got: queries.get(i).len(),
+                });
+            }
+        }
+        let prepared: Vec<PreparedQuery> = (0..m).map(|i| self.prepare(queries.get(i))).collect();
+        let mut heaps: Vec<TopK> = (0..m).map(|_| TopK::new(params.k.max(1))).collect();
+        let mut by_bucket: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (qi, p) in prepared.iter().enumerate() {
+            for b in self.probe_buckets(p.query(), params.nprobe) {
+                by_bucket.entry(b).or_default().push(qi);
+            }
+        }
+        for (b, qis) in by_bucket {
+            for qi in qis {
+                self.scan_bucket_prepared(b, &prepared[qi], &mut heaps[qi], None);
+            }
+        }
+        Ok(heaps.into_iter().map(TopK::into_sorted).collect())
+    }
+
     fn memory_bytes(&self) -> usize {
         let buckets: usize = self.buckets.iter().map(Bucket::bytes).sum();
         let centroids = self.coarse.centroids.memory_bytes();
@@ -640,6 +682,38 @@ mod tests {
 
     fn params() -> BuildParams {
         BuildParams { nlist: 16, kmeans_iters: 8, pq_m: 4, ..Default::default() }
+    }
+
+    #[test]
+    fn batched_search_is_bit_identical_to_per_query_loop() {
+        let (vs, ids) = clustered(600, 16, 13);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut queries = VectorSet::new(16);
+        for _ in 0..9 {
+            let center = rng.gen_range(0..8) as f32 * 10.0;
+            let q: Vec<f32> = (0..16).map(|_| center + rng.gen_range(-1.0f32..1.0)).collect();
+            queries.push(&q);
+        }
+        for variant in [IvfVariant::Flat, IvfVariant::Sq8, IvfVariant::Pq] {
+            for metric in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+                let p = BuildParams { metric, ..params() };
+                let ivf = IvfIndex::build(variant, &vs, &ids, &p).unwrap();
+                let sp = SearchParams { k: 7, nprobe: 4, ..Default::default() };
+                let batched = ivf.search_batch(&queries, &sp).unwrap();
+                for (qi, batch_list) in batched.iter().enumerate() {
+                    let serial = ivf.search(queries.get(qi), &sp).unwrap();
+                    assert_eq!(
+                        batch_list, &serial,
+                        "bucket-major batch diverged: {variant:?} {metric} q={qi}"
+                    );
+                }
+            }
+        }
+        // Dimension mismatch inside the batch surfaces the typed error.
+        let mut bad = VectorSet::new(8);
+        bad.push(&[0.0; 8]);
+        let ivf = IvfIndex::build(IvfVariant::Flat, &vs, &ids, &params()).unwrap();
+        assert!(ivf.search_batch(&bad, &SearchParams::default()).is_err());
     }
 
     fn recall_vs_flat(variant: IvfVariant, metric: Metric, nprobe: usize) -> f32 {

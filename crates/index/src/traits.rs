@@ -72,7 +72,10 @@ impl BuildParams {
 }
 
 /// Per-query search configuration.
-#[derive(Debug, Clone)]
+///
+/// `Eq`/`Hash` let the query scheduler group coalesced queries by
+/// compatible parameters (all fields are plain integers).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SearchParams {
     /// Number of results to return.
     pub k: usize,
@@ -141,6 +144,20 @@ pub trait VectorIndex: Send + Sync {
         params: &SearchParams,
         allow: &dyn Fn(i64) -> bool,
     ) -> Result<Vec<Neighbor>>;
+
+    /// Search many queries that share one [`SearchParams`], returning one
+    /// sorted result list per query in input order. The default is the
+    /// per-query loop — bit-identical to calling [`VectorIndex::search`] in
+    /// a loop by construction; index types with batchable scan structure
+    /// (IVF: shared bucket sweeps) override this to amortize work across
+    /// the batch without changing any result.
+    fn search_batch(
+        &self,
+        queries: &VectorSet,
+        params: &SearchParams,
+    ) -> Result<Vec<Vec<Neighbor>>> {
+        (0..queries.len()).map(|i| self.search(queries.get(i), params)).collect()
+    }
 
     /// Approximate main-memory footprint in bytes (Table/SPTAG memory
     /// comparisons, bufferpool accounting).

@@ -25,7 +25,7 @@
 
 use crate::{
     MetricsSnapshot, EXEC_QUEUE_DEPTH, EXEC_WORKERS, NET_LINK_UP, NET_RETRIES, POOL_EVICTIONS,
-    POOL_HITS, POOL_MISSES, SEARCH_COVERAGE_RATIO, SEARCH_DEGRADED,
+    POOL_HITS, POOL_MISSES, SCHED_SHED, SEARCH_COVERAGE_RATIO, SEARCH_DEGRADED,
 };
 use std::sync::RwLock;
 
@@ -90,6 +90,11 @@ pub struct HealthThresholds {
     /// Degraded searches inside the open window above which search is
     /// degraded even if the last search happened to be complete.
     pub degraded_search_burst: u64,
+    /// Scheduler-shed queries inside the open window at or above which the
+    /// executor component is degraded: admission control turning traffic
+    /// away is load the pool could not absorb, even if the queue gauge has
+    /// already drained by the time health is asked.
+    pub sched_shed_burst_degraded: u64,
 }
 
 impl Default for HealthThresholds {
@@ -101,6 +106,7 @@ impl Default for HealthThresholds {
             pool_eviction_ratio_degraded: 0.25,
             pool_eviction_ratio_unhealthy: 0.75,
             degraded_search_burst: 1,
+            sched_shed_burst_degraded: 1,
         }
     }
 }
@@ -133,7 +139,11 @@ fn family_delta(live: &MetricsSnapshot, baseline: Option<&MetricsSnapshot>, name
     sum(live).saturating_sub(baseline.map_or(0, sum))
 }
 
-fn executor_health(live: &MetricsSnapshot, th: &HealthThresholds) -> ComponentHealth {
+fn executor_health(
+    live: &MetricsSnapshot,
+    baseline: Option<&MetricsSnapshot>,
+    th: &HealthThresholds,
+) -> ComponentHealth {
     // Worst pool wins; pools with zero registered workers are ignored
     // (gauges left behind by dropped pools idle at depth 0 anyway).
     let mut worst: Option<(String, f64)> = None;
@@ -148,9 +158,16 @@ fn executor_health(live: &MetricsSnapshot, th: &HealthThresholds) -> ComponentHe
         }
     }
     let (pool, per_worker) = worst.unwrap_or_else(|| (String::from("-"), 0.0));
+    // Shed queries are the scheduler's own saturation verdict: the queue
+    // gauge can drain between the overload and the health probe, but the
+    // shed counter delta inside the open window cannot un-happen, so load
+    // shedding flips this component deterministically.
+    let shed = family_delta(live, baseline, SCHED_SHED);
     let status = if per_worker >= th.exec_queue_per_worker_unhealthy {
         HealthStatus::Unhealthy
-    } else if per_worker >= th.exec_queue_per_worker_degraded {
+    } else if per_worker >= th.exec_queue_per_worker_degraded
+        || shed >= th.sched_shed_burst_degraded.max(1)
+    {
         HealthStatus::Degraded
     } else {
         HealthStatus::Ok
@@ -158,7 +175,9 @@ fn executor_health(live: &MetricsSnapshot, th: &HealthThresholds) -> ComponentHe
     ComponentHealth {
         component: "executor",
         status,
-        reason: format!("pool {pool:?} queue depth/worker {per_worker:.2}"),
+        reason: format!(
+            "pool {pool:?} queue depth/worker {per_worker:.2}, {shed} shed in window"
+        ),
     }
 }
 
@@ -255,7 +274,7 @@ pub fn compute_health(
     th: &HealthThresholds,
 ) -> HealthReport {
     let components = vec![
-        executor_health(live, th),
+        executor_health(live, baseline, th),
         transport_health(live, baseline, th),
         bufferpool_health(live, baseline, th),
         search_health(live, baseline, th),
@@ -352,6 +371,24 @@ mod tests {
         let r = compute_health(&live, Some(&base), &th());
         assert_eq!(r.components[3].status, HealthStatus::Ok);
         assert_eq!(r.status, HealthStatus::Ok);
+    }
+
+    #[test]
+    fn shed_burst_degrades_executor_and_is_windowed() {
+        // Historic sheds absorbed by the baseline keep the executor ok...
+        let mut base = MetricsSnapshot::default();
+        base.counters.insert(key(SCHED_SHED, "vectors"), 10);
+        let live = base.clone();
+        let r = compute_health(&live, Some(&base), &th());
+        assert_eq!(r.components[0].status, HealthStatus::Ok);
+        // ...but a single in-window shed flips it to degraded even with an
+        // empty executor queue.
+        let mut live = base.clone();
+        live.counters.insert(key(SCHED_SHED, "vectors"), 11);
+        let r = compute_health(&live, Some(&base), &th());
+        assert_eq!(r.components[0].status, HealthStatus::Degraded);
+        assert!(r.components[0].reason.contains("1 shed"), "{}", r.components[0].reason);
+        assert_eq!(r.status, HealthStatus::Degraded);
     }
 
     #[test]

@@ -566,6 +566,23 @@ pub const NET_LINK_LOSS_PPM: &str = "milvus_net_link_loss_ppm";
 /// Accumulated virtual time (timeouts, backoff, injected delays) of a
 /// simulated network, in microseconds.
 pub const NET_VIRTUAL_TIME_US: &str = "milvus_net_virtual_time_us";
+/// Query-scheduler: size of each coalesced batch handed to the batch
+/// engines (per collection; bucket value = queries in the batch).
+pub const SCHED_BATCH_SIZE: &str = "milvus_sched_batch_size";
+/// Query-scheduler: coalesced batches executed (per collection).
+pub const SCHED_COALESCED_BATCHES: &str = "milvus_sched_coalesced_batches_total";
+/// Query-scheduler: queries served through a coalesced batch (per
+/// collection).
+pub const SCHED_COALESCED_QUERIES: &str = "milvus_sched_coalesced_queries_total";
+/// Query-scheduler: queries currently admitted and executing (per
+/// collection).
+pub const SCHED_INFLIGHT: &str = "milvus_sched_inflight";
+/// Query-scheduler: queries that bypassed the coalescing window because no
+/// other query was pending (per collection).
+pub const SCHED_PASSTHROUGH: &str = "milvus_sched_passthrough_total";
+/// Query-scheduler: queries shed by admission control with a typed
+/// overload error (per collection).
+pub const SCHED_SHED: &str = "milvus_sched_shed_total";
 /// Distributed searches that completed with at least one uncovered shard
 /// (per cluster).
 pub const SEARCH_DEGRADED: &str = "milvus_search_degraded_total";
@@ -654,6 +671,12 @@ pub const FAMILIES: &[FamilyDesc] = &[
     FamilyDesc { name: QUERY_NPROBE_EFFECTIVE, kind: MetricKind::Counter, help: "Effective nprobe used by IVF searches." },
     FamilyDesc { name: QUERY_TOTAL, kind: MetricKind::Counter, help: "Queries served." },
     FamilyDesc { name: READER_REFRESHES, kind: MetricKind::Counter, help: "Distributed reader refreshes." },
+    FamilyDesc { name: SCHED_BATCH_SIZE, kind: MetricKind::Histogram, help: "Queries per coalesced scheduler batch." },
+    FamilyDesc { name: SCHED_COALESCED_BATCHES, kind: MetricKind::Counter, help: "Coalesced batches executed by the query scheduler." },
+    FamilyDesc { name: SCHED_COALESCED_QUERIES, kind: MetricKind::Counter, help: "Queries served through a coalesced scheduler batch." },
+    FamilyDesc { name: SCHED_INFLIGHT, kind: MetricKind::Gauge, help: "Queries currently admitted by the scheduler and executing." },
+    FamilyDesc { name: SCHED_PASSTHROUGH, kind: MetricKind::Counter, help: "Queries that bypassed the coalescing window (no other query pending)." },
+    FamilyDesc { name: SCHED_SHED, kind: MetricKind::Counter, help: "Queries shed by scheduler admission control with a typed overload error." },
     FamilyDesc { name: SEARCH_COVERAGE_RATIO, kind: MetricKind::Gauge, help: "Shard coverage of the most recent distributed search in parts per million (1000000 = full coverage)." },
     FamilyDesc { name: SEARCH_DEGRADED, kind: MetricKind::Counter, help: "Distributed searches that completed with at least one uncovered shard." },
     FamilyDesc { name: SEGMENTS, kind: MetricKind::Gauge, help: "Live segment count of the current snapshot." },

@@ -73,11 +73,15 @@ pub enum SpanKind {
     NetRetry,
     /// Re-fanning one orphaned shard to surviving readers.
     Failover,
+    /// Time a query spent held in the scheduler's coalescing window before
+    /// its batch executed — separate from executor [`SpanKind::QueueWait`]
+    /// so the profiler can tell deliberate batching from pool saturation.
+    CoalesceWait,
 }
 
 impl SpanKind {
     /// Every kind, in discriminant order; `ALL[k.index()] == k`.
-    pub const ALL: [SpanKind; 14] = [
+    pub const ALL: [SpanKind; 15] = [
         SpanKind::Other,
         SpanKind::Parse,
         SpanKind::Route,
@@ -92,6 +96,7 @@ impl SpanKind {
         SpanKind::Rpc,
         SpanKind::NetRetry,
         SpanKind::Failover,
+        SpanKind::CoalesceWait,
     ];
 
     /// Dense index for per-kind aggregation arrays.
@@ -116,6 +121,7 @@ impl SpanKind {
             SpanKind::Rpc => "rpc",
             SpanKind::NetRetry => "net_retry",
             SpanKind::Failover => "failover",
+            SpanKind::CoalesceWait => "coalesce_wait",
         }
     }
 }

@@ -62,8 +62,12 @@ pub fn clear_scan_delays() {
     SCAN_FAULTS_ARMED.store(false, std::sync::atomic::Ordering::SeqCst);
 }
 
+/// Honor any armed scan fault for `segment_id`. `search_field_stats` calls
+/// this itself; external scan paths that bypass it (the scheduler's
+/// coalesced zero-copy segment scans) must call it once per segment so
+/// injected delays keep governing every scan route.
 #[inline]
-fn apply_scan_fault(segment_id: u64) {
+pub fn apply_scan_fault(segment_id: u64) {
     if SCAN_FAULTS_ARMED.load(std::sync::atomic::Ordering::Relaxed) {
         let delay = scan_delays().lock().get(&segment_id).copied();
         if let Some(d) = delay {

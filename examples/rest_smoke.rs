@@ -97,6 +97,41 @@ fn main() {
         request(addr, "POST", "/collections/smoke/search", r#"{"vector":[0.9,0.1,0.0,0.0],"k":2}"#),
     );
 
+    // --- POST /collections/smoke/search_batch: many vectors, one round
+    // trip, one coalesced admission — results stay per-query.
+    let body = expect_ok(
+        "POST /collections/smoke/search_batch",
+        request(
+            addr,
+            "POST",
+            "/collections/smoke/search_batch",
+            r#"{"vectors":[[0.9,0.1,0.0,0.0],[0.0,0.0,0.1,0.9]],"k":2}"#,
+        ),
+    );
+    let json = parse("/collections/smoke/search_batch", &body);
+    let results = json["results"].as_array();
+    check(
+        "search_batch returns one hit list per query vector",
+        results.map(|r| r.len()) == Some(2),
+        &body,
+    );
+    let (first, second) = (
+        json["results"][0]["hits"][0]["id"].as_f64(),
+        json["results"][1]["hits"][0]["id"].as_f64(),
+    );
+    check(
+        "search_batch hit lists are per-query (1 then 4)",
+        first == Some(1.0) && second == Some(4.0),
+        &body,
+    );
+    let (status, body) =
+        request(addr, "POST", "/collections/smoke/search_batch", r#"{"vectors":[[1.0]],"k":2}"#);
+    check(
+        "search_batch rejects mismatched dims with 400",
+        status == 400 && body.contains("dim"),
+        &format!("status {status}, body: {body}"),
+    );
+
     // --- GET /metrics: must be 200 and carry the bufferpool + tracing +
     // executor + simulated-network families (declared at zero even before
     // any simulated traffic, so dashboards can pin them).
@@ -121,6 +156,12 @@ fn main() {
         "milvus_net_failovers_total",
         "milvus_search_degraded_total",
         "milvus_search_coverage_ratio",
+        "milvus_sched_batch_size",
+        "milvus_sched_coalesced_batches_total",
+        "milvus_sched_coalesced_queries_total",
+        "milvus_sched_inflight",
+        "milvus_sched_passthrough_total",
+        "milvus_sched_shed_total",
     ] {
         check(
             &format!("/metrics declares {family}"),

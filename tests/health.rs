@@ -5,8 +5,8 @@
 //! boundaries are placed explicitly with the SimNet virtual clock.
 //!
 //! The metrics registry and flight recorder are process-global; this file
-//! is its own test binary with a single test, so frames recorded here are
-//! guaranteed adjacent.
+//! is its own test binary and its tests serialize on [`GLOBAL_STATE`], so
+//! frames recorded by one test are guaranteed adjacent.
 
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
@@ -22,6 +22,10 @@ use milvus_storage::object_store::MemoryStore;
 use milvus_storage::{InsertBatch, LsmConfig, Schema};
 
 const DIM: usize = 16;
+
+/// Serializes the tests in this binary: they all read and window the
+/// process-global metrics registry and flight recorder.
+static GLOBAL_STATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 fn sim_cluster(shards: usize, readers: usize, seed: u64) -> (Cluster, Arc<SimNet>) {
     let net = SimNet::new(seed);
@@ -61,6 +65,7 @@ fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
 
 #[test]
 fn health_flips_to_degraded_under_partition_and_recovers_after_heal() {
+    let _global = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
     let (c, net) = sim_cluster(8, 2, 71);
     fill(&c, 300);
 
@@ -152,5 +157,95 @@ fn health_flips_to_degraded_under_partition_and_recovers_after_heal() {
 
     // The two explicit frames give the time-series view one closed window.
     assert!(m.timeseries().windows() >= 2);
+    server.shutdown();
+}
+
+/// ISSUE 9: a shed burst from the admission controller degrades the
+/// executor component — the pool turned traffic away, which is load it
+/// could not absorb — and a new frame absorbs the burst so health recovers.
+/// The shed itself is driven end to end: a real query pinned in a segment
+/// scan by an injected delay exhausts a budget of one, so the next query
+/// fails typed (SDK) and as HTTP 429 (REST), and `/health` flips.
+#[test]
+fn shed_burst_degrades_health_and_recovers_next_window() {
+    let _global = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let m = Arc::new(Milvus::new());
+    let mut cfg = milvus_core::CollectionConfig::for_tests();
+    cfg.scheduler.adaptive = false;
+    cfg.scheduler.max_inflight = 1;
+    let col = m
+        .create_collection("shed_health", Schema::single("v", DIM, Metric::L2), cfg)
+        .unwrap();
+    let mut vs = VectorSet::new(DIM);
+    for i in 0..64i64 {
+        let mut v = [0.0f32; DIM];
+        v[0] = i as f32;
+        vs.push(&v);
+    }
+    col.insert(InsertBatch::single((0..64).collect(), vs)).unwrap();
+    col.flush().unwrap();
+    let seg_id = col.snapshot().segments[0].id;
+
+    let server = RestServer::serve(Arc::clone(&m), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    // Close the warm-up window: health judges only what follows.
+    m.tick_timeseries();
+    assert_eq!(m.health().status, HealthStatus::Ok, "{:?}", m.health());
+
+    // Pin one query inside the segment scan; with a budget of one, every
+    // query arriving while it sleeps is shed.
+    milvus_storage::segment::inject_scan_delay(seg_id, std::time::Duration::from_secs(3));
+    let pinned = {
+        let col = Arc::clone(&col);
+        std::thread::spawn(move || col.search("v", &[1.0; DIM], &SearchParams::top_k(3)))
+    };
+    std::thread::sleep(std::time::Duration::from_millis(300));
+
+    // SDK: typed error, never a silently degraded result.
+    let err = col
+        .search("v", &[1.0; DIM], &SearchParams::top_k(3))
+        .expect_err("budget of 1 is held by the pinned query");
+    assert!(
+        matches!(err, milvus_core::MilvusError::Overloaded { inflight: 1, budget: 1, .. }),
+        "{err:?}"
+    );
+
+    // REST: the same shed surfaces as 429 Too Many Requests.
+    let mut s = TcpStream::connect(addr).unwrap();
+    let body = format!(r#"{{"vector":{:?},"k":3}}"#, [1.0f32; DIM].to_vec());
+    write!(
+        s,
+        "POST /collections/shed_health/search HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 429"), "{resp}");
+    assert!(resp.contains("overloaded"), "{resp}");
+
+    // Health: executor degraded with the shed burst in its reason; the REST
+    // surface agrees while still serving.
+    let r = m.health();
+    assert_eq!(r.components[0].component, "executor");
+    assert_eq!(r.components[0].status, HealthStatus::Degraded, "{r:?}");
+    assert!(r.components[0].reason.contains("shed"), "{}", r.components[0].reason);
+    assert_eq!(r.status, HealthStatus::Degraded, "{r:?}");
+    let (status, body) = http_get(addr, "/health");
+    assert!(status.contains("200"), "degraded still serves: {status}");
+    assert!(body.contains("\"status\":\"degraded\""), "{body}");
+
+    // The pinned query itself completes normally — shed queries failed
+    // typed, admitted ones were never degraded.
+    let hits = pinned.join().unwrap().unwrap();
+    assert!(!hits.is_empty());
+    milvus_storage::segment::clear_scan_delays();
+
+    // A new frame absorbs the burst; with no fresh sheds health returns
+    // to ok — the signal is windowed, not latched.
+    m.tick_timeseries();
+    let r = m.health();
+    assert_eq!(r.status, HealthStatus::Ok, "{r:?}");
     server.shutdown();
 }
