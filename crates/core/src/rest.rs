@@ -874,7 +874,7 @@ mod tests {
         let stages = op["stages"].as_array().expect("stages array");
         assert!(stages.iter().any(|s| s["stage"] == "segment_scan"), "{op}");
 
-        // Health: a healthy single-node process reports ok with all four
+        // Health: a healthy single-node process reports ok with all five
         // components present.
         let (status, body) = http(addr, "GET", "/health", "");
         assert!(status.contains("200"), "{status}: {body}");
@@ -882,7 +882,11 @@ mod tests {
         let components = body["components"].as_array().expect("components array");
         let names: Vec<&str> =
             components.iter().filter_map(|c| c["component"].as_str()).collect();
-        assert_eq!(names, vec!["executor", "transport", "bufferpool", "search"], "{body}");
+        assert_eq!(
+            names,
+            vec!["executor", "transport", "bufferpool", "search", "writer"],
+            "{body}"
+        );
 
         // EXPLAIN ANALYZE over REST.
         let (status, body) = http(

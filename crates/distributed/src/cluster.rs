@@ -3,6 +3,7 @@
 //! elasticity (add a reader, crash a reader, the replacement rebuilds from
 //! shared state).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -11,12 +12,17 @@ use milvus_index::{Neighbor, VectorSet};
 use milvus_obs as obs;
 use milvus_storage::object_store::ObjectStore;
 use milvus_storage::{InsertBatch, LsmConfig, Result as StorageResult, Schema};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::coordinator::Coordinator;
 use crate::reader::ReaderNode;
-use crate::transport::{rpc, Direct, NodeId, RetryPolicy, Transport};
+use crate::transport::{rpc, rpc_detailed, Direct, NodeId, RetryPolicy, RpcFailure, Transport};
 use crate::writer::WriterNode;
+
+/// How many standby promotions one client call may ride through before its
+/// error surfaces (each promotion replays the shipped log — a second
+/// failure inside that window means something systemic, not a crash).
+const MAX_TAKEOVERS_PER_CALL: usize = 2;
 
 /// Outcome of a distributed search, including its fault-tolerance story:
 /// which readers were unreachable, which of their shards were re-fanned to
@@ -45,9 +51,26 @@ impl SearchReport {
 /// A whole cluster in-process.
 pub struct Cluster {
     schema: Schema,
+    config: LsmConfig,
     coordinator: Arc<Coordinator>,
     shared: Arc<dyn ObjectStore>,
-    writer: WriterNode,
+    /// The current writer instance — replaced wholesale by a promoted
+    /// standby on failover.
+    writer: RwLock<Arc<WriterNode>>,
+    /// The endpoint ingest RPCs are addressed to: [`NodeId::Writer`] for
+    /// the original instance, [`NodeId::Standby`] after a takeover (a
+    /// promoted standby gets its own links and its own fault schedule).
+    writer_endpoint: RwLock<NodeId>,
+    /// Automated standby promotion on an unreachable writer. Requires log
+    /// shipping ([`Cluster::with_failover`]): without a shipped log there
+    /// is nothing for a standby to replay.
+    failover_enabled: bool,
+    /// Monotone takeover counter; also the promoted instance's endpoint id.
+    takeover_generation: AtomicU64,
+    /// Serializes promotions so concurrent failed calls elect one standby.
+    promote_lock: Mutex<()>,
+    /// Client-side operation id source for exactly-once tagged inserts.
+    next_op_id: AtomicU64,
     readers: RwLock<Vec<Arc<ReaderNode>>>,
     reader_cache_bytes: usize,
     transport: Arc<dyn Transport>,
@@ -79,18 +102,66 @@ impl Cluster {
         config: LsmConfig,
         transport: Arc<dyn Transport>,
     ) -> StorageResult<Self> {
+        Self::assemble(schema, shards, readers, shared, config, transport, false)
+    }
+
+    /// [`Cluster::with_transport`] with log shipping and automated writer
+    /// failover: every ingest operation is durable in shared storage before
+    /// its ack, and a client call that finds the writer unreachable
+    /// (exhausted retries) promotes a standby — replay the shipped tail
+    /// over the standby's own links, bump the epoch, re-point ingest at the
+    /// new instance, resync readers — then re-runs transparently.
+    pub fn with_failover(
+        schema: Schema,
+        shards: usize,
+        readers: usize,
+        shared: Arc<dyn ObjectStore>,
+        config: LsmConfig,
+        transport: Arc<dyn Transport>,
+    ) -> StorageResult<Self> {
+        Self::assemble(schema, shards, readers, shared, config, transport, true)
+    }
+
+    fn assemble(
+        schema: Schema,
+        shards: usize,
+        readers: usize,
+        shared: Arc<dyn ObjectStore>,
+        config: LsmConfig,
+        transport: Arc<dyn Transport>,
+        failover: bool,
+    ) -> StorageResult<Self> {
         let coordinator = Coordinator::new(shards);
-        let writer = WriterNode::new(
-            schema.clone(),
-            config,
-            Arc::clone(&shared),
-            Arc::clone(&coordinator),
-        )?;
+        let writer = if failover {
+            WriterNode::with_log_shipping_transport(
+                schema.clone(),
+                config.clone(),
+                Arc::clone(&shared),
+                Arc::clone(&coordinator),
+                Arc::clone(&transport),
+            )?
+        } else {
+            WriterNode::new(
+                schema.clone(),
+                config.clone(),
+                Arc::clone(&shared),
+                Arc::clone(&coordinator),
+            )?
+        };
+        if failover {
+            obs::gauge(obs::WRITER_UP, "cluster").set(1);
+        }
         let cluster = Self {
             schema,
+            config,
             coordinator,
             shared,
-            writer,
+            writer: RwLock::new(Arc::new(writer)),
+            writer_endpoint: RwLock::new(NodeId::Writer),
+            failover_enabled: failover,
+            takeover_generation: AtomicU64::new(0),
+            promote_lock: Mutex::new(()),
+            next_op_id: AtomicU64::new(1),
             readers: RwLock::new(Vec::new()),
             reader_cache_bytes: 256 << 20,
             transport,
@@ -122,9 +193,19 @@ impl Cluster {
         &self.coordinator
     }
 
-    /// The writer node.
-    pub fn writer(&self) -> &WriterNode {
-        &self.writer
+    /// The current writer instance (the promoted standby after a failover).
+    pub fn writer(&self) -> Arc<WriterNode> {
+        self.writer.read().clone()
+    }
+
+    /// The endpoint ingest RPCs are currently addressed to.
+    pub fn writer_endpoint(&self) -> NodeId {
+        *self.writer_endpoint.read()
+    }
+
+    /// How many standby takeovers this cluster has performed.
+    pub fn takeover_generation(&self) -> u64 {
+        self.takeover_generation.load(Ordering::SeqCst)
     }
 
     /// Current readers.
@@ -169,14 +250,24 @@ impl Cluster {
     }
 
     /// Insert entities (goes to the writer; §5.3 read/write separation).
-    /// Not idempotent: a lost acknowledgment surfaces as
-    /// [`milvus_storage::StorageError::Unavailable`] rather than risking a
-    /// duplicate insert on retry.
+    /// Exactly-once: the batch carries a client operation id, and the
+    /// writer dedupes against ids it has already applied — a retry whose
+    /// first attempt executed but lost its ack, or a replay into a promoted
+    /// standby, never duplicates rows. `tests/linearizability.rs` pins
+    /// these semantics.
     pub fn insert(&self, batch: InsertBatch) -> StorageResult<()> {
-        let retry = self.retry();
-        rpc(&*self.transport, NodeId::Client, NodeId::Writer, "insert", &retry, false, || {
-            self.writer.insert(batch.clone())
-        })
+        self.insert_tracked(batch).1
+    }
+
+    /// [`Cluster::insert`] that also exposes the operation id the batch was
+    /// tagged with, so callers recording a client-visible history (the
+    /// linearizability harness) can match indeterminate outcomes against
+    /// durable log records.
+    pub fn insert_tracked(&self, batch: InsertBatch) -> (u64, StorageResult<()>) {
+        let op_id = self.next_op_id.fetch_add(1, Ordering::SeqCst);
+        let res =
+            self.writer_call("insert", true, |w| w.insert_tagged(batch.clone(), Some(op_id)));
+        (op_id, res)
     }
 
     /// Convenience: single-vector insert.
@@ -186,22 +277,109 @@ impl Cluster {
 
     /// Delete entities (idempotent: tombstoning twice is harmless).
     pub fn delete(&self, ids: &[i64]) -> StorageResult<()> {
-        let retry = self.retry();
-        rpc(&*self.transport, NodeId::Client, NodeId::Writer, "delete", &retry, true, || {
-            self.writer.delete(ids)
-        })
+        self.writer_call("delete", true, |w| w.delete(ids))
     }
 
     /// Flush the writer and propagate the new segment versions to readers.
     /// Readers unreachable during the propagation are left stale and catch
     /// up lazily before their next query (or on [`Cluster::resync`]).
     pub fn flush(&self) -> StorageResult<()> {
-        let retry = self.retry();
-        rpc(&*self.transport, NodeId::Client, NodeId::Writer, "flush", &retry, true, || {
-            self.writer.flush()
-        })?;
+        self.writer_call("flush", true, |w| w.flush())?;
         self.coordinator.bump_epoch();
         self.refresh_readers()
+    }
+
+    /// Run `f` against the current writer over its ingest link. When
+    /// failover is enabled and the link's retries exhaust (unreachable
+    /// writer) — or the writer itself reports `Unavailable` because its own
+    /// storage link is dead — a standby is promoted and the call re-runs
+    /// against the new instance, at most [`MAX_TAKEOVERS_PER_CALL`] times.
+    fn writer_call<T>(
+        &self,
+        op: &str,
+        idempotent: bool,
+        mut f: impl FnMut(&WriterNode) -> StorageResult<T>,
+    ) -> StorageResult<T> {
+        let retry = self.retry();
+        let mut takeovers = 0;
+        loop {
+            let writer = self.writer.read().clone();
+            let endpoint = *self.writer_endpoint.read();
+            let generation = self.takeover_generation.load(Ordering::SeqCst);
+            let res = rpc_detailed(
+                &*self.transport,
+                NodeId::Client,
+                endpoint,
+                op,
+                &retry,
+                idempotent,
+                || f(&writer),
+            );
+            match res {
+                Ok(v) => {
+                    // A successful call proves some writer is serving. This
+                    // also repairs the up-gauge after a *failed* promotion
+                    // (which leaves it at 0) once the old writer heals and
+                    // answers again — without it health would report the
+                    // writer down forever.
+                    if self.failover_enabled {
+                        obs::gauge(obs::WRITER_UP, "cluster").set(1);
+                    }
+                    return Ok(v);
+                }
+                Err((kind, e)) => {
+                    // Only an unreachable writer (or one whose own storage
+                    // link is dead) justifies promotion. A lost ack on a
+                    // non-idempotent call means the writer is alive and the
+                    // operation may have executed — promoting would help
+                    // nothing and risks surprise re-execution.
+                    let writer_down = matches!(kind, RpcFailure::Exhausted)
+                        || (matches!(kind, RpcFailure::App) && e.is_unavailable());
+                    if !self.failover_enabled || !writer_down
+                        || takeovers >= MAX_TAKEOVERS_PER_CALL
+                    {
+                        return Err(e);
+                    }
+                    takeovers += 1;
+                    self.promote_standby(generation)?;
+                }
+            }
+        }
+    }
+
+    /// Promote a standby writer: open the shipped log under a fresh term
+    /// over the standby's own links, load segments, replay the tail, flush,
+    /// bump the epoch and re-point ingest. `observed_generation` makes the
+    /// promotion idempotent under racing failed calls — whoever got the
+    /// lock first already did the work.
+    fn promote_standby(&self, observed_generation: u64) -> StorageResult<()> {
+        let _guard = self.promote_lock.lock();
+        if self.takeover_generation.load(Ordering::SeqCst) != observed_generation {
+            return Ok(()); // A concurrent caller already promoted.
+        }
+        let generation = observed_generation + 1;
+        let endpoint = NodeId::Standby(generation);
+        obs::gauge(obs::WRITER_UP, "cluster").set(0);
+        let standby = WriterNode::standby_takeover_with_transport(
+            self.schema.clone(),
+            self.config.clone(),
+            Arc::clone(&self.shared),
+            Arc::clone(&self.coordinator),
+            Arc::clone(&self.transport),
+            endpoint,
+            self.retry(),
+        )?;
+        *self.writer.write() = Arc::new(standby);
+        *self.writer_endpoint.write() = endpoint;
+        self.takeover_generation.store(generation, Ordering::SeqCst);
+        obs::counter(obs::WRITER_FAILOVERS, "cluster").inc();
+        obs::gauge(obs::WRITER_TAKEOVER_GENERATION, "cluster").set(generation as i64);
+        obs::gauge(obs::WRITER_UP, "cluster").set(1);
+        // The takeover flush produced new segment versions: re-point the
+        // readers at them (unreachable ones catch up lazily, as ever).
+        self.coordinator.bump_epoch();
+        let _ = self.refresh_readers();
+        Ok(())
     }
 
     /// Re-run the refresh fan-out (e.g. after healing a partition) so every
@@ -368,7 +546,7 @@ impl Cluster {
 
     /// Total live rows (writer view).
     pub fn live_rows(&self) -> usize {
-        self.writer.live_rows()
+        self.writer.read().live_rows()
     }
 }
 

@@ -23,6 +23,7 @@
 pub mod cluster;
 pub mod coordinator;
 pub mod hashring;
+pub mod linearize;
 pub mod log_ship;
 pub mod prefix_store;
 pub mod reader;
@@ -32,4 +33,5 @@ pub mod writer;
 pub use cluster::{Cluster, SearchReport};
 pub use coordinator::Coordinator;
 pub use hashring::HashRing;
-pub use transport::{Direct, FaultPlan, NodeId, RetryPolicy, SimNet, Transport};
+pub use linearize::{History, Invocation, OpKind, Outcome, Violation};
+pub use transport::{Direct, FaultPlan, NodeId, RetryPolicy, RpcFailure, SimNet, Transport};

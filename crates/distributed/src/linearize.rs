@@ -1,0 +1,422 @@
+//! A history checker for the cluster's client-visible ingest semantics.
+//!
+//! Chaos runs record every client invocation and its observed outcome into
+//! a [`History`]; after the run converges, [`check`] compares the history
+//! against the cluster's final visible state and the durable shipped log,
+//! and reports every [`Violation`] of the contract:
+//!
+//! 1. **No acked write lost.** An id whose last definite operation was an
+//!    acknowledged insert must be visible.
+//! 2. **No unacked write resurrected without durable evidence.** An id
+//!    that is visible although no insert of it was ever acknowledged must
+//!    be justified by an *indeterminate* insert (outcome unknown — ack
+//!    lost in flight) whose operation id appears in a durable log record.
+//!    Ship-before-ack makes this the exhaustive list of legal resurrections.
+//! 3. **No deleted id reappearing.** An id whose last definite operation
+//!    was an acknowledged delete must not be visible.
+//! 4. **Checkpoints monotone.** Scanning the shipped log in `(term, seq)`
+//!    order, flush checkpoints' `(term, covered lsn)` never decreases — a
+//!    takeover may only move the cut forward.
+//!
+//! The model is a single sequential client (the chaos harness drives one
+//! operation at a time), which keeps the check linear: per id, fold the
+//! history in invocation order into "can this id legally be live / dead at
+//! the end, and does liveness require log evidence". Outcomes:
+//! [`Outcome::Acked`] pins the state, [`Outcome::Indeterminate`] (an
+//! `Unavailable` error — the operation may or may not have executed) widens
+//! it, [`Outcome::Failed`] (a definite application error) leaves it
+//! untouched.
+//!
+//! Invariant 2 assumes the shipped log has not been truncated between the
+//! run and the check — truncation deliberately discards the evidence once
+//! a checkpoint covers it.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use milvus_storage::wal::LogRecord;
+
+use crate::log_ship::LogEntry;
+
+/// What a recorded client operation did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// Insert of these entity ids.
+    Insert { ids: Vec<i64> },
+    /// Delete of these entity ids.
+    Delete { ids: Vec<i64> },
+}
+
+/// The outcome the client observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The call returned success: the operation definitely executed.
+    Acked,
+    /// The call failed with `Unavailable`: the operation may or may not
+    /// have executed (e.g. it executed but the ack was lost).
+    Indeterminate,
+    /// The call failed with a definite application error: the operation
+    /// did not take effect.
+    Failed,
+}
+
+/// One recorded client invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Invocation {
+    /// The client operation id ([`crate::Cluster::insert_tracked`]); 0 for
+    /// operations that carry none (deletes).
+    pub op_id: u64,
+    pub kind: OpKind,
+    pub outcome: Outcome,
+}
+
+/// The client-visible history of one run, in invocation order.
+#[derive(Debug, Default, Clone)]
+pub struct History {
+    events: Vec<Invocation>,
+}
+
+impl History {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an invocation (append-only, invocation order).
+    pub fn record(&mut self, op_id: u64, kind: OpKind, outcome: Outcome) {
+        self.events.push(Invocation { op_id, kind, outcome });
+    }
+
+    /// Classify a `StorageResult` into an [`Outcome`] and record an insert.
+    pub fn record_insert(&mut self, op_id: u64, ids: Vec<i64>, res: &milvus_storage::Result<()>) {
+        let outcome = Self::classify(res);
+        self.record(op_id, OpKind::Insert { ids }, outcome);
+    }
+
+    /// Classify a `StorageResult` into an [`Outcome`] and record a delete.
+    pub fn record_delete(&mut self, ids: Vec<i64>, res: &milvus_storage::Result<()>) {
+        let outcome = Self::classify(res);
+        self.record(0, OpKind::Delete { ids }, outcome);
+    }
+
+    fn classify(res: &milvus_storage::Result<()>) -> Outcome {
+        match res {
+            Ok(()) => Outcome::Acked,
+            Err(e) if e.is_unavailable() => Outcome::Indeterminate,
+            Err(_) => Outcome::Failed,
+        }
+    }
+
+    /// The recorded invocations.
+    pub fn events(&self) -> &[Invocation] {
+        &self.events
+    }
+}
+
+/// One contract violation found by [`check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Invariant 1: the id's last definite operation was an acked insert,
+    /// yet it is not visible.
+    AckedWriteLost { id: i64 },
+    /// Invariant 2: the id is visible, but no acked insert explains it and
+    /// no indeterminate insert of it has a durable log record.
+    UnackedWriteResurrected { id: i64 },
+    /// Invariant 3: the id's last definite operation was an acked delete,
+    /// yet it is visible.
+    DeletedIdReappeared { id: i64 },
+    /// Invariant 4: a checkpoint's `(term, covered lsn)` went backwards.
+    CheckpointWentBackwards {
+        term: u64,
+        seq: u64,
+        upto: u64,
+        prev_term: u64,
+        prev_upto: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::AckedWriteLost { id } => {
+                write!(f, "acked insert of id {id} lost: not visible in final state")
+            }
+            Violation::UnackedWriteResurrected { id } => write!(
+                f,
+                "id {id} visible without an acked insert or a durable log record \
+                 for an indeterminate one"
+            ),
+            Violation::DeletedIdReappeared { id } => {
+                write!(f, "id {id} visible although its last definite operation was an acked delete")
+            }
+            Violation::CheckpointWentBackwards { term, seq, upto, prev_term, prev_upto } => {
+                write!(
+                    f,
+                    "checkpoint at (term {term}, seq {seq}) covers (term {term}, lsn {upto}), \
+                     behind the earlier cut (term {prev_term}, lsn {prev_upto})"
+                )
+            }
+        }
+    }
+}
+
+/// Per-id fold state: what end states the history permits.
+#[derive(Debug, Clone, Default)]
+struct IdState {
+    /// The history permits this id to be live at the end.
+    can_be_live: bool,
+    /// The history permits this id to be absent at the end. (True
+    /// initially: an id never operated on is absent.)
+    can_be_dead: bool,
+    /// Liveness is only legal via an indeterminate insert — one of
+    /// `evidence` must then appear in the durable log.
+    live_needs_evidence: bool,
+    /// Operation ids of the indeterminate inserts that could explain
+    /// liveness.
+    evidence: Vec<u64>,
+    /// The reason liveness is illegal is an acked delete (distinguishes
+    /// [`Violation::DeletedIdReappeared`] from a resurrection of an insert
+    /// that never succeeded).
+    deleted: bool,
+}
+
+impl IdState {
+    fn initial() -> Self {
+        Self {
+            can_be_live: false,
+            can_be_dead: true,
+            live_needs_evidence: true,
+            evidence: Vec::new(),
+            deleted: false,
+        }
+    }
+}
+
+/// Check a recorded history against the final visible ids and the durable
+/// shipped log. Returns every violation found (empty = the run
+/// linearizes). `final_live` is the converged cluster's visible id set
+/// (e.g. [`crate::writer::WriterNode::live_ids`] after a flush); `log` is
+/// the untruncated shipped log ([`crate::log_ship::SharedLog::entries`]).
+pub fn check(history: &History, final_live: &BTreeSet<i64>, log: &[LogEntry]) -> Vec<Violation> {
+    let mut states: BTreeMap<i64, IdState> = BTreeMap::new();
+    for ev in history.events() {
+        let (ids, is_insert) = match &ev.kind {
+            OpKind::Insert { ids } => (ids, true),
+            OpKind::Delete { ids } => (ids, false),
+        };
+        for &id in ids {
+            let st = states.entry(id).or_insert_with(IdState::initial);
+            match (is_insert, ev.outcome) {
+                (true, Outcome::Acked) => {
+                    st.can_be_live = true;
+                    st.can_be_dead = false;
+                    st.live_needs_evidence = false;
+                    st.deleted = false;
+                }
+                (true, Outcome::Indeterminate) => {
+                    // May have executed: live becomes possible (via this
+                    // op's durable record); dead stays possible if it was.
+                    if !st.can_be_live {
+                        st.can_be_live = true;
+                        st.live_needs_evidence = true;
+                    }
+                    if st.live_needs_evidence {
+                        st.evidence.push(ev.op_id);
+                    }
+                }
+                (false, Outcome::Acked) => {
+                    st.can_be_live = false;
+                    st.can_be_dead = true;
+                    st.live_needs_evidence = true;
+                    st.evidence.clear();
+                    st.deleted = true;
+                }
+                (false, Outcome::Indeterminate) => {
+                    st.can_be_dead = true;
+                }
+                (_, Outcome::Failed) => {}
+            }
+        }
+    }
+
+    // Operation ids with a durable log record (evidence for invariant 2).
+    let durable_ops: BTreeSet<u64> = log
+        .iter()
+        .filter_map(|e| match &e.record {
+            LogRecord::Insert { op_id, .. } => *op_id,
+            _ => None,
+        })
+        .collect();
+
+    let mut violations = Vec::new();
+    for (&id, st) in &states {
+        let live = final_live.contains(&id);
+        if live && !st.can_be_live {
+            violations.push(if st.deleted {
+                Violation::DeletedIdReappeared { id }
+            } else {
+                // Every insert of this id failed definitively, yet it is
+                // visible — same class as a resurrection without evidence.
+                Violation::UnackedWriteResurrected { id }
+            });
+        } else if live
+            && st.live_needs_evidence
+            && !st.evidence.iter().any(|op| durable_ops.contains(op))
+        {
+            violations.push(Violation::UnackedWriteResurrected { id });
+        } else if !live && !st.can_be_dead {
+            violations.push(Violation::AckedWriteLost { id });
+        }
+    }
+    // Ids visible although the history never inserted them at all.
+    for &id in final_live {
+        if !states.contains_key(&id) {
+            violations.push(Violation::UnackedWriteResurrected { id });
+        }
+    }
+
+    // Invariant 4: the cut only moves forward. `log` is in (term, seq)
+    // order ([`SharedLog::entries`]).
+    let mut prev: Option<(u64, u64)> = None;
+    for e in log {
+        if let LogRecord::FlushCheckpoint { lsn } = e.record {
+            if let Some((pt, pu)) = prev {
+                if (e.term, lsn) < (pt, pu) {
+                    violations.push(Violation::CheckpointWentBackwards {
+                        term: e.term,
+                        seq: e.seq,
+                        upto: lsn,
+                        prev_term: pt,
+                        prev_upto: pu,
+                    });
+                }
+            }
+            prev = Some((e.term, lsn));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn live(ids: &[i64]) -> BTreeSet<i64> {
+        ids.iter().copied().collect()
+    }
+
+    fn log_insert(term: u64, seq: u64, op_id: u64) -> LogEntry {
+        LogEntry {
+            term,
+            seq,
+            record: LogRecord::Insert {
+                lsn: seq,
+                op_id: Some(op_id),
+                batch: milvus_storage::InsertBatch::single(
+                    vec![0],
+                    milvus_index::VectorSet::from_flat(1, vec![0.0]),
+                ),
+            },
+        }
+    }
+
+    fn log_checkpoint(term: u64, seq: u64, upto: u64) -> LogEntry {
+        LogEntry { term, seq, record: LogRecord::FlushCheckpoint { lsn: upto } }
+    }
+
+    #[test]
+    fn clean_history_has_no_violations() {
+        let mut h = History::new();
+        h.record(1, OpKind::Insert { ids: vec![1, 2] }, Outcome::Acked);
+        h.record(0, OpKind::Delete { ids: vec![2] }, Outcome::Acked);
+        assert_eq!(check(&h, &live(&[1]), &[]), vec![]);
+    }
+
+    #[test]
+    fn lost_acked_write_is_flagged() {
+        let mut h = History::new();
+        h.record(1, OpKind::Insert { ids: vec![7] }, Outcome::Acked);
+        assert_eq!(check(&h, &live(&[]), &[]), vec![Violation::AckedWriteLost { id: 7 }]);
+    }
+
+    #[test]
+    fn deleted_id_reappearing_is_flagged() {
+        let mut h = History::new();
+        h.record(1, OpKind::Insert { ids: vec![7] }, Outcome::Acked);
+        h.record(0, OpKind::Delete { ids: vec![7] }, Outcome::Acked);
+        assert_eq!(check(&h, &live(&[7]), &[]), vec![Violation::DeletedIdReappeared { id: 7 }]);
+    }
+
+    #[test]
+    fn indeterminate_insert_may_or_may_not_survive() {
+        let mut h = History::new();
+        h.record(3, OpKind::Insert { ids: vec![5] }, Outcome::Indeterminate);
+        // Absent: fine (it may not have executed).
+        assert_eq!(check(&h, &live(&[]), &[]), vec![]);
+        // Visible with a durable record carrying its op id: fine.
+        assert_eq!(check(&h, &live(&[5]), &[log_insert(0, 1, 3)]), vec![]);
+        // Visible with no durable evidence: resurrection.
+        assert_eq!(
+            check(&h, &live(&[5]), &[]),
+            vec![Violation::UnackedWriteResurrected { id: 5 }]
+        );
+    }
+
+    #[test]
+    fn failed_insert_must_not_take_effect() {
+        let mut h = History::new();
+        h.record(4, OpKind::Insert { ids: vec![9] }, Outcome::Failed);
+        assert_eq!(
+            check(&h, &live(&[9]), &[]),
+            vec![Violation::UnackedWriteResurrected { id: 9 }]
+        );
+    }
+
+    #[test]
+    fn never_inserted_id_cannot_be_visible() {
+        let h = History::new();
+        assert_eq!(
+            check(&h, &live(&[42]), &[]),
+            vec![Violation::UnackedWriteResurrected { id: 42 }]
+        );
+    }
+
+    #[test]
+    fn indeterminate_delete_permits_either_state() {
+        let mut h = History::new();
+        h.record(1, OpKind::Insert { ids: vec![3] }, Outcome::Acked);
+        h.record(0, OpKind::Delete { ids: vec![3] }, Outcome::Indeterminate);
+        assert_eq!(check(&h, &live(&[3]), &[]), vec![]);
+        assert_eq!(check(&h, &live(&[]), &[]), vec![]);
+    }
+
+    #[test]
+    fn insert_after_acked_delete_revives() {
+        let mut h = History::new();
+        h.record(1, OpKind::Insert { ids: vec![6] }, Outcome::Acked);
+        h.record(0, OpKind::Delete { ids: vec![6] }, Outcome::Acked);
+        h.record(2, OpKind::Insert { ids: vec![6] }, Outcome::Acked);
+        assert_eq!(check(&h, &live(&[6]), &[]), vec![]);
+        assert_eq!(check(&h, &live(&[]), &[]), vec![Violation::AckedWriteLost { id: 6 }]);
+    }
+
+    #[test]
+    fn checkpoints_must_be_monotone() {
+        let log = vec![
+            log_checkpoint(0, 3, 2),
+            log_checkpoint(0, 5, 4),
+            log_checkpoint(1, 6, 3), // (1, 3) >= (0, 4): terms dominate — fine
+        ];
+        assert_eq!(check(&History::new(), &live(&[]), &log), vec![]);
+        let log = vec![log_checkpoint(0, 3, 4), log_checkpoint(0, 5, 2)];
+        assert_eq!(
+            check(&History::new(), &live(&[]), &log),
+            vec![Violation::CheckpointWentBackwards {
+                term: 0,
+                seq: 5,
+                upto: 2,
+                prev_term: 0,
+                prev_upto: 4,
+            }]
+        );
+    }
+}

@@ -54,6 +54,10 @@ pub enum NodeId {
     Coordinator,
     /// The single writer instance.
     Writer,
+    /// A promoted standby writer, by takeover generation (1 for the first
+    /// takeover). A fresh endpoint: fault schedules that killed the old
+    /// writer's links do not apply to its replacement.
+    Standby(u64),
     /// A reader instance, by coordinator-assigned id.
     Reader(u64),
     /// The shared object store (S3 in the paper).
@@ -66,6 +70,7 @@ impl fmt::Display for NodeId {
             NodeId::Client => write!(f, "client"),
             NodeId::Coordinator => write!(f, "coordinator"),
             NodeId::Writer => write!(f, "writer"),
+            NodeId::Standby(generation) => write!(f, "standby-{generation}"),
             NodeId::Reader(id) => write!(f, "reader-{id}"),
             NodeId::Storage => write!(f, "storage"),
         }
@@ -511,15 +516,30 @@ impl Transport for SimNet {
     }
 }
 
+/// How an RPC failed — the caller's failure-handling forks on this:
+/// [`RpcFailure::Exhausted`] is the *unreachable peer* signal that drives
+/// writer failover, while [`RpcFailure::ResponseLost`] and
+/// [`RpcFailure::App`] mean the peer executed (or rejected) the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcFailure {
+    /// Every attempt timed out; the peer is unreachable on this link.
+    Exhausted,
+    /// The request executed but the acknowledgment was lost, and the caller
+    /// declared the operation non-idempotent so it was not replayed.
+    ResponseLost,
+    /// The peer executed the request and returned an application error.
+    App,
+}
+
 /// Run one request/response RPC over `transport` with per-attempt timeout
 /// and bounded exponential backoff.
 ///
 /// `idempotent` controls the lost-response case: the operation *did*
-/// execute, so retrying re-executes it — safe for reads, refreshes and
-/// deletes, unsafe for inserts (which would observe `DuplicateId` on the
-/// replay; callers declare `idempotent = false` and surface the timeout
-/// instead). Application errors returned by `f` propagate immediately and
-/// are never retried.
+/// execute, so retrying re-executes it — safe for reads, refreshes,
+/// deletes, and writer inserts deduplicated by client op id; callers whose
+/// operation genuinely cannot be replayed declare `idempotent = false` and
+/// surface the timeout instead. Application errors returned by `f`
+/// propagate immediately and are never retried.
 pub fn rpc<T>(
     transport: &dyn Transport,
     from: NodeId,
@@ -527,10 +547,25 @@ pub fn rpc<T>(
     op: &str,
     policy: &RetryPolicy,
     idempotent: bool,
-    mut f: impl FnMut() -> StorageResult<T>,
+    f: impl FnMut() -> StorageResult<T>,
 ) -> StorageResult<T> {
+    rpc_detailed(transport, from, to, op, policy, idempotent, f).map_err(|(_, e)| e)
+}
+
+/// [`rpc`] that also reports *how* the call failed, so callers can
+/// distinguish an unreachable peer (failover trigger) from an executed
+/// operation whose outcome is merely unknown or rejected.
+pub fn rpc_detailed<T>(
+    transport: &dyn Transport,
+    from: NodeId,
+    to: NodeId,
+    op: &str,
+    policy: &RetryPolicy,
+    idempotent: bool,
+    mut f: impl FnMut() -> StorageResult<T>,
+) -> Result<T, (RpcFailure, StorageError)> {
     if transport.is_direct() {
-        return f();
+        return f().map_err(|e| (RpcFailure::App, e));
     }
     let label = link_label(from, to);
     let attempts = policy.attempts.max(1);
@@ -552,16 +587,21 @@ pub fn rpc<T>(
         };
         if let Some(result) = executed {
             match transport.fate(to, from) {
-                Fate::Deliver { .. } => return result,
+                Fate::Deliver { .. } => {
+                    return result.map_err(|e| (RpcFailure::App, e));
+                }
                 Fate::Drop => {
                     // Executed, but the ack is lost. Retrying re-executes.
                     if !idempotent {
                         transport.note_timeout();
                         obs::counter(obs::NET_TIMEOUTS, &label).inc();
                         transport.advance_virtual(policy.timeout.as_micros() as u64);
-                        return Err(StorageError::Unavailable(format!(
-                            "rpc {op} {from}->{to}: response lost; not retried (non-idempotent)"
-                        )));
+                        return Err((
+                            RpcFailure::ResponseLost,
+                            StorageError::Unavailable(format!(
+                                "rpc {op} {from}->{to}: response lost; not retried (non-idempotent)"
+                            )),
+                        ));
                     }
                 }
             }
@@ -576,9 +616,12 @@ pub fn rpc<T>(
             backoff = (backoff * 2).min(policy.backoff_cap);
         }
     }
-    Err(StorageError::Unavailable(format!(
-        "rpc {op} {from}->{to}: {attempts} attempts timed out"
-    )))
+    Err((
+        RpcFailure::Exhausted,
+        StorageError::Unavailable(format!(
+            "rpc {op} {from}->{to}: {attempts} attempts timed out"
+        )),
+    ))
 }
 
 #[cfg(test)]

@@ -4,16 +4,20 @@
 //! engine per shard against the shared store, and relies on the WAL for
 //! atomicity across restarts.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use milvus_obs as obs;
 use milvus_index::VectorSet;
 use milvus_storage::object_store::ObjectStore;
+use milvus_storage::wal::LogRecord;
 use milvus_storage::{InsertBatch, LsmConfig, LsmEngine, Result as StorageResult, Schema};
+use parking_lot::Mutex;
 
 use crate::coordinator::Coordinator;
 use crate::log_ship::SharedLog;
 use crate::prefix_store::PrefixStore;
+use crate::transport::{Direct, NodeId, RetryPolicy, Transport};
 
 /// The writer node.
 pub struct WriterNode {
@@ -22,6 +26,11 @@ pub struct WriterNode {
     /// Shared-storage log (§5.3: ship logs, not data). `None` disables
     /// shipping (single-writer deployments relying on a local WAL).
     shared_log: Option<SharedLog>,
+    /// Client operation ids already applied. A retried insert whose first
+    /// attempt executed but whose ack was lost, and a log record replayed
+    /// into a standby, both dedupe against this set — tagged inserts are
+    /// exactly-once even across a failover.
+    applied_ops: Mutex<HashSet<u64>>,
 }
 
 impl WriterNode {
@@ -33,7 +42,7 @@ impl WriterNode {
         coordinator: Arc<Coordinator>,
     ) -> StorageResult<Self> {
         let engines = Self::make_engines(&schema, &config, &shared, &coordinator, false)?;
-        Ok(Self { coordinator, engines, shared_log: None })
+        Ok(Self { coordinator, engines, shared_log: None, applied_ops: Mutex::new(HashSet::new()) })
     }
 
     /// Create a writer that ships every operation to shared storage before
@@ -66,7 +75,7 @@ impl WriterNode {
     ) -> StorageResult<Self> {
         let engines = Self::make_engines(&schema, &config, &shared, &coordinator, false)?;
         let shared_log = Some(SharedLog::open_with_transport(shared, transport)?);
-        Ok(Self { coordinator, engines, shared_log })
+        Ok(Self { coordinator, engines, shared_log, applied_ops: Mutex::new(HashSet::new()) })
     }
 
     /// Bring up a replacement writer after a crash: load the flushed
@@ -77,23 +86,65 @@ impl WriterNode {
         shared: Arc<dyn ObjectStore>,
         coordinator: Arc<Coordinator>,
     ) -> StorageResult<Self> {
+        Self::standby_takeover_with_transport(
+            schema,
+            config,
+            shared,
+            coordinator,
+            Arc::new(Direct),
+            NodeId::Writer,
+            RetryPolicy::default(),
+        )
+    }
+
+    /// [`WriterNode::standby_takeover`] with every recovery read (log list,
+    /// record gets) and all subsequent shipping routed over `transport` as
+    /// `endpoint` — the standby's own link, with its own fault schedule.
+    /// The promoted instance ships under a fresh term, fencing its records
+    /// from any in-flight duplicates of the writer it replaces. Replayed
+    /// inserts dedupe by client op id and skip rows already live, so a
+    /// record whose covering checkpoint was lost in flight is harmless.
+    pub fn standby_takeover_with_transport(
+        schema: Schema,
+        config: LsmConfig,
+        shared: Arc<dyn ObjectStore>,
+        coordinator: Arc<Coordinator>,
+        transport: Arc<dyn Transport>,
+        endpoint: NodeId,
+        retry: RetryPolicy,
+    ) -> StorageResult<Self> {
         let engines = Self::make_engines(&schema, &config, &shared, &coordinator, true)?;
+        let shared_log = SharedLog::open_standby(
+            Arc::clone(&shared),
+            Arc::clone(&transport),
+            endpoint,
+            retry.clone(),
+        )?;
         let writer = Self {
             coordinator,
             engines,
-            shared_log: Some(SharedLog::open(Arc::clone(&shared))?),
+            shared_log: Some(shared_log),
+            applied_ops: Mutex::new(HashSet::new()),
         };
-        for rec in SharedLog::replay_tail(&shared)? {
-            match rec {
-                milvus_storage::wal::LogRecord::Insert { batch, .. } => {
-                    writer.apply_insert(batch)?
+        let tail = SharedLog::replay_tail_with_transport(&shared, &transport, endpoint, &retry)?;
+        let mut replayed = 0u64;
+        let mut max_seq = 0u64;
+        for entry in tail {
+            max_seq = max_seq.max(entry.seq);
+            replayed += 1;
+            match entry.record {
+                LogRecord::Insert { op_id, batch, .. } => {
+                    if let Some(op) = op_id {
+                        writer.applied_ops.lock().insert(op);
+                    }
+                    writer.apply_insert_tolerant(batch)?;
                 }
-                milvus_storage::wal::LogRecord::Delete { ids, .. } => {
-                    writer.apply_delete(&ids)?
-                }
-                milvus_storage::wal::LogRecord::FlushCheckpoint { .. } => {}
+                LogRecord::Delete { ids, .. } => writer.apply_delete(&ids)?,
+                LogRecord::FlushCheckpoint { .. } => {}
             }
         }
+        obs::counter(obs::WRITER_REPLAYED_RECORDS, "writer").add(replayed);
+        obs::gauge(obs::WRITER_TAKEOVER_REPLAY_LSN, "writer").set(max_seq as i64);
         writer.flush()?;
         Ok(writer)
     }
@@ -133,13 +184,32 @@ impl WriterNode {
     /// shipping is on, the operation is durable in shared storage before the
     /// engines see it.
     pub fn insert(&self, batch: InsertBatch) -> StorageResult<()> {
+        self.insert_tagged(batch, None)
+    }
+
+    /// [`WriterNode::insert`] carrying the client's operation id. If the id
+    /// was already applied — a retry whose first attempt executed but whose
+    /// ack was lost in flight, or a record replayed during takeover — the
+    /// batch is acknowledged without re-applying, making tagged inserts
+    /// exactly-once.
+    pub fn insert_tagged(&self, batch: InsertBatch, op_id: Option<u64>) -> StorageResult<()> {
         let _span = obs::span(obs::INGEST_LATENCY, "writer");
+        if let Some(op) = op_id {
+            if self.applied_ops.lock().contains(&op) {
+                obs::counter(obs::WRITER_DEDUPED_OPS, "writer").inc();
+                return Ok(());
+            }
+        }
         obs::counter(obs::INGEST_BATCHES, "writer").inc();
         obs::counter(obs::INGEST_ROWS, "writer").add(batch.ids.len() as u64);
         if let Some(log) = &self.shared_log {
-            log.ship_insert(batch.clone())?;
+            log.ship_insert(batch.clone(), op_id)?;
         }
-        self.apply_insert(batch)
+        self.apply_insert(batch)?;
+        if let Some(op) = op_id {
+            self.applied_ops.lock().insert(op);
+        }
+        Ok(())
     }
 
     fn apply_insert(&self, batch: InsertBatch) -> StorageResult<()> {
@@ -166,6 +236,35 @@ impl WriterNode {
         Ok(())
     }
 
+    /// Apply a replayed insert, skipping rows already live in the engines.
+    /// A record can be replayed although its rows were flushed when the
+    /// checkpoint covering it was shipped but lost by the network.
+    fn apply_insert_tolerant(&self, batch: InsertBatch) -> StorageResult<()> {
+        let keep: Vec<usize> = batch
+            .ids
+            .iter()
+            .enumerate()
+            .filter(|&(_, &id)| !self.engines[self.coordinator.shard_of(id)].contains_live(id))
+            .map(|(row, _)| row)
+            .collect();
+        if keep.is_empty() {
+            return Ok(());
+        }
+        if keep.len() == batch.ids.len() {
+            return self.apply_insert(batch);
+        }
+        let sub = InsertBatch {
+            ids: keep.iter().map(|&r| batch.ids[r]).collect(),
+            vectors: batch.vectors.iter().map(|col| col.gather(&keep)).collect(),
+            attributes: batch
+                .attributes
+                .iter()
+                .map(|col| keep.iter().map(|&r| col[r]).collect())
+                .collect(),
+        };
+        self.apply_insert(sub)
+    }
+
     /// Route deletes to the owning shards.
     pub fn delete(&self, ids: &[i64]) -> StorageResult<()> {
         obs::counter(obs::DELETE_ROWS, "writer").add(ids.len() as u64);
@@ -173,6 +272,47 @@ impl WriterNode {
             log.ship_delete(ids.to_vec())?;
         }
         self.apply_delete(ids)
+    }
+
+    /// Term (takeover generation) this writer ships under: 0 for the
+    /// original instance or when shipping is off, `n` after the `n`-th
+    /// takeover.
+    pub fn term(&self) -> u64 {
+        self.shared_log.as_ref().map_or(0, |l| l.term())
+    }
+
+    /// Sorted live entity ids across all shards (equivalence checks; flush
+    /// first — memtable-only rows are not included).
+    pub fn live_ids(&self) -> Vec<i64> {
+        let mut out: Vec<i64> = Vec::new();
+        for engine in &self.engines {
+            let snap = engine.snapshot();
+            for seg in &snap.segments {
+                for &id in &seg.data().row_ids {
+                    if engine.contains_live(id) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Per-shard flushed segment `(id, version)` pairs, sorted
+    /// (equivalence checks).
+    pub fn segment_versions(&self) -> Vec<Vec<(u64, u64)>> {
+        self.engines
+            .iter()
+            .map(|engine| {
+                let snap = engine.snapshot();
+                let mut v: Vec<(u64, u64)> =
+                    snap.segments.iter().map(|s| (s.id, s.version)).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
     }
 
     fn apply_delete(&self, ids: &[i64]) -> StorageResult<()> {

@@ -17,6 +17,11 @@
 //! - **search** — live `milvus_search_coverage_ratio` (ppm; anything under
 //!   full coverage degrades, zero coverage is unhealthy) plus the windowed
 //!   `milvus_search_degraded_total` count.
+//! - **writer** — the `milvus_writer_up` gauge (present only on clusters
+//!   running failover-managed ingest): 0 means the writer is unreachable
+//!   and a takeover is in flight (unhealthy); up but with
+//!   `milvus_writer_failovers_total` bursts inside the open window means
+//!   ingest just rode through a crash (degraded, ok again next window).
 //!
 //! All signals are counts, ratios, or gauges — no wall-clock denominators —
 //! so the model works identically under SimNet's virtual clock and is fully
@@ -25,7 +30,8 @@
 
 use crate::{
     MetricsSnapshot, EXEC_QUEUE_DEPTH, EXEC_WORKERS, NET_LINK_UP, NET_RETRIES, POOL_EVICTIONS,
-    POOL_HITS, POOL_MISSES, SCHED_SHED, SEARCH_COVERAGE_RATIO, SEARCH_DEGRADED,
+    POOL_HITS, POOL_MISSES, SCHED_SHED, SEARCH_COVERAGE_RATIO, SEARCH_DEGRADED, WRITER_FAILOVERS,
+    WRITER_UP,
 };
 use std::sync::RwLock;
 
@@ -95,6 +101,10 @@ pub struct HealthThresholds {
     /// away is load the pool could not absorb, even if the queue gauge has
     /// already drained by the time health is asked.
     pub sched_shed_burst_degraded: u64,
+    /// Writer failovers inside the open window at or above which the writer
+    /// component is degraded: ingest recovered, but a takeover just
+    /// happened — the next clean window reports ok again.
+    pub writer_failover_burst_degraded: u64,
 }
 
 impl Default for HealthThresholds {
@@ -107,6 +117,7 @@ impl Default for HealthThresholds {
             pool_eviction_ratio_unhealthy: 0.75,
             degraded_search_burst: 1,
             sched_shed_burst_degraded: 1,
+            writer_failover_burst_degraded: 1,
         }
     }
 }
@@ -265,6 +276,28 @@ fn search_health(
     ComponentHealth { component: "search", status, reason }
 }
 
+fn writer_health(
+    live: &MetricsSnapshot,
+    baseline: Option<&MetricsSnapshot>,
+    th: &HealthThresholds,
+) -> ComponentHealth {
+    // The up-gauge exists only on clusters running failover-managed ingest;
+    // a process without one has nothing to report on.
+    let up: Vec<i64> =
+        live.gauges.iter().filter(|(k, _)| k.name == WRITER_UP).map(|(_, &v)| v).collect();
+    let failovers = family_delta(live, baseline, WRITER_FAILOVERS);
+    let (status, reason) = if up.is_empty() {
+        (HealthStatus::Ok, "no failover-managed writer".to_string())
+    } else if up.contains(&0) {
+        (HealthStatus::Unhealthy, "writer down, takeover in flight".to_string())
+    } else if failovers >= th.writer_failover_burst_degraded.max(1) {
+        (HealthStatus::Degraded, format!("{failovers} failovers in window"))
+    } else {
+        (HealthStatus::Ok, format!("writer up, {failovers} failovers in window"))
+    };
+    ComponentHealth { component: "writer", status, reason }
+}
+
 /// Score every component from `live` against `baseline` (the newest
 /// recorded frame; `None` treats all history as in-window) and roll the
 /// worst status up to the report level.
@@ -278,6 +311,7 @@ pub fn compute_health(
         transport_health(live, baseline, th),
         bufferpool_health(live, baseline, th),
         search_health(live, baseline, th),
+        writer_health(live, baseline, th),
     ];
     let status = components
         .iter()
@@ -305,7 +339,38 @@ mod tests {
         let live = MetricsSnapshot::default();
         let r = compute_health(&live, None, &th());
         assert_eq!(r.status, HealthStatus::Ok);
-        assert_eq!(r.components.len(), 4);
+        assert_eq!(r.components.len(), 5);
+    }
+
+    #[test]
+    fn writer_health_tracks_failover_lifecycle() {
+        // No up-gauge at all: nothing to manage, ok.
+        let live = MetricsSnapshot::default();
+        let r = compute_health(&live, None, &th());
+        assert_eq!(r.components[4].status, HealthStatus::Ok);
+
+        // Writer down mid-takeover: unhealthy.
+        let mut live = MetricsSnapshot::default();
+        live.gauges.insert(key(WRITER_UP, "cluster"), 0);
+        let r = compute_health(&live, None, &th());
+        assert_eq!(r.components[4].status, HealthStatus::Unhealthy);
+        assert_eq!(r.status, HealthStatus::Unhealthy);
+
+        // Back up, but a failover landed in the open window: degraded.
+        let mut base = MetricsSnapshot::default();
+        base.counters.insert(key(WRITER_FAILOVERS, "cluster"), 3);
+        let mut live = base.clone();
+        live.gauges.insert(key(WRITER_UP, "cluster"), 1);
+        live.counters.insert(key(WRITER_FAILOVERS, "cluster"), 4);
+        let r = compute_health(&live, Some(&base), &th());
+        assert_eq!(r.components[4].status, HealthStatus::Degraded);
+        assert!(r.components[4].reason.contains("1 failovers"), "{}", r.components[4].reason);
+
+        // Next window is clean: ok again.
+        let base = live.clone();
+        let r = compute_health(&live, Some(&base), &th());
+        assert_eq!(r.components[4].status, HealthStatus::Ok);
+        assert_eq!(r.status, HealthStatus::Ok);
     }
 
     #[test]

@@ -589,6 +589,22 @@ pub const SEARCH_DEGRADED: &str = "milvus_search_degraded_total";
 /// Shard coverage of the most recent distributed search, in parts per
 /// million (1_000_000 = every shard contributed results).
 pub const SEARCH_COVERAGE_RATIO: &str = "milvus_search_coverage_ratio";
+/// Automated writer failovers: a standby was promoted after the active
+/// writer became unreachable (per cluster).
+pub const WRITER_FAILOVERS: &str = "milvus_writer_failovers_total";
+/// Shipped log records replayed by a standby writer during takeover.
+pub const WRITER_REPLAYED_RECORDS: &str = "milvus_writer_replayed_records_total";
+/// Inserts skipped because their client op id was already applied (client
+/// retry after a lost ack, or a replay of an already-materialized record).
+pub const WRITER_DEDUPED_OPS: &str = "milvus_writer_deduped_ops_total";
+/// 1 while an active writer is serving ingest; 0 from the moment an outage
+/// is detected until a standby finishes takeover.
+pub const WRITER_UP: &str = "milvus_writer_up";
+/// Generation (term) of the current writer: 0 for the original instance,
+/// bumped by every takeover.
+pub const WRITER_TAKEOVER_GENERATION: &str = "milvus_writer_takeover_generation";
+/// Log sequence number up to which the most recent takeover replayed.
+pub const WRITER_TAKEOVER_REPLAY_LSN: &str = "milvus_writer_takeover_replay_lsn";
 
 // ---------------------------------------------------------------------------
 // Declared metric families: name, type and HELP text. The Prometheus render
@@ -685,6 +701,12 @@ pub const FAMILIES: &[FamilyDesc] = &[
     FamilyDesc { name: TRACES_SAMPLED, kind: MetricKind::Counter, help: "Queries elected by the trace sampler." },
     FamilyDesc { name: WAL_APPENDS, kind: MetricKind::Counter, help: "WAL records appended." },
     FamilyDesc { name: WAL_BYTES, kind: MetricKind::Counter, help: "WAL bytes appended." },
+    FamilyDesc { name: WRITER_DEDUPED_OPS, kind: MetricKind::Counter, help: "Inserts skipped because their client op id was already applied." },
+    FamilyDesc { name: WRITER_FAILOVERS, kind: MetricKind::Counter, help: "Automated writer failovers (standby promoted after the active writer became unreachable)." },
+    FamilyDesc { name: WRITER_REPLAYED_RECORDS, kind: MetricKind::Counter, help: "Shipped log records replayed by a standby writer during takeover." },
+    FamilyDesc { name: WRITER_TAKEOVER_GENERATION, kind: MetricKind::Gauge, help: "Generation (term) of the current writer; bumped by every takeover." },
+    FamilyDesc { name: WRITER_TAKEOVER_REPLAY_LSN, kind: MetricKind::Gauge, help: "Log sequence number up to which the most recent takeover replayed." },
+    FamilyDesc { name: WRITER_UP, kind: MetricKind::Gauge, help: "1 while an active writer serves ingest, 0 during a detected outage until takeover completes." },
 ];
 
 #[cfg(test)]

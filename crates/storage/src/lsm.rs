@@ -226,6 +226,19 @@ impl LsmEngine {
         self.memtable.lock().len()
     }
 
+    /// Whether `id` is currently live: buffered in the memtable, or present
+    /// in a flushed segment and not tombstoned (by a segment tombstone or a
+    /// pending memtable delete). Used by log-replay paths to skip records
+    /// whose effects are already materialized.
+    pub fn contains_live(&self, id: i64) -> bool {
+        let mt = self.memtable.lock();
+        if mt.contains(id) {
+            return true;
+        }
+        let snap = self.snapshots.current();
+        snap.locate(id).is_some() && !mt.pending_deletes().contains(&id)
+    }
+
     /// Insert a batch: WAL append (when configured) → memtable → maybe flush.
     pub fn insert(&self, batch: InsertBatch) -> Result<()> {
         batch.validate(&self.schema)?;

@@ -20,8 +20,11 @@ use crate::error::Result;
 /// One durable operation.
 #[derive(Debug, Clone)]
 pub enum LogRecord {
-    /// An insert batch.
-    Insert { lsn: u64, batch: InsertBatch },
+    /// An insert batch. `op_id` is the client-assigned operation id carried
+    /// by shipped records (distributed log, §5.3): a standby writer dedupes
+    /// replay and client retries against it, making inserts exactly-once
+    /// across a writer failover. Local WALs leave it `None`.
+    Insert { lsn: u64, op_id: Option<u64>, batch: InsertBatch },
     /// Tombstone the given entity ids.
     Delete { lsn: u64, ids: Vec<i64> },
     /// Everything up to `lsn` has been flushed into segments.
@@ -29,7 +32,7 @@ pub enum LogRecord {
 }
 
 serde::impl_serde_enum!(LogRecord {
-    Insert { lsn, batch },
+    Insert { lsn, op_id, batch },
     Delete { lsn, ids },
     FlushCheckpoint { lsn },
 });
@@ -85,7 +88,7 @@ impl Wal {
     /// OS before the call returns (ack-after-materialize, §5.1).
     pub fn append_insert(&mut self, batch: InsertBatch) -> Result<u64> {
         let lsn = self.bump();
-        self.write(&LogRecord::Insert { lsn, batch })?;
+        self.write(&LogRecord::Insert { lsn, op_id: None, batch })?;
         Ok(lsn)
     }
 

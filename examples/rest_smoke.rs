@@ -162,6 +162,12 @@ fn main() {
         "milvus_sched_inflight",
         "milvus_sched_passthrough_total",
         "milvus_sched_shed_total",
+        "milvus_writer_up",
+        "milvus_writer_failovers_total",
+        "milvus_writer_replayed_records_total",
+        "milvus_writer_deduped_ops_total",
+        "milvus_writer_takeover_generation",
+        "milvus_writer_takeover_replay_lsn",
     ] {
         check(
             &format!("/metrics declares {family}"),
@@ -237,13 +243,13 @@ fn main() {
     check("/debug/profile has a staged smoke/search entry", has_op, &body);
 
     // --- GET /health: a healthy single-node process answers ok with all
-    // four components.
+    // five components.
     let body = expect_ok("GET /health", request(addr, "GET", "/health", ""));
     let json = parse("/health", &body);
     check("/health is ok", json["status"].as_str() == Some("ok"), &body);
     check(
-        "/health lists 4 components",
-        json["components"].as_array().map(|c| c.len()) == Some(4),
+        "/health lists 5 components",
+        json["components"].as_array().map(|c| c.len()) == Some(5),
         &body,
     );
 

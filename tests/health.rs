@@ -249,3 +249,97 @@ fn shed_burst_degrades_health_and_recovers_next_window() {
     assert_eq!(r.status, HealthStatus::Ok, "{r:?}");
     server.shutdown();
 }
+
+/// ISSUE 10: the writer component tracks the failover lifecycle end to
+/// end. A crashed writer that a standby takes over lands one failover in
+/// the open window (degraded); a crash whose promotion *also* fails leaves
+/// the writer genuinely down (unhealthy, `/health` → 503); a heal lets the
+/// old writer answer again, which must repair the up-gauge; and the next
+/// window absorbs the burst back to ok.
+#[test]
+fn writer_failover_degrades_health_then_recovers() {
+    let _global = GLOBAL_STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let net = SimNet::new(73);
+    let c = Cluster::with_failover(
+        Schema::single("v", DIM, Metric::L2),
+        4,
+        2,
+        Arc::new(MemoryStore::new()),
+        LsmConfig { auto_merge: false, ..Default::default() },
+        net.clone(),
+    )
+    .unwrap();
+    fill(&c, 200);
+
+    let m = Arc::new(Milvus::new());
+    let server = RestServer::serve(Arc::clone(&m), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let one_row = |id: i64| {
+        let mut vs = VectorSet::new(DIM);
+        let mut v = [0.0f32; DIM];
+        v[0] = id as f32;
+        vs.push(&v);
+        InsertBatch::single(vec![id], vs)
+    };
+
+    // Phase 0 — clean window: the writer component exists and is ok.
+    let t0 = net.virtual_time().as_micros() as u64;
+    m.tick_timeseries_at(t0);
+    let r = m.health();
+    assert_eq!(r.components[4].component, "writer");
+    assert_eq!(r.components[4].status, HealthStatus::Ok, "{r:?}");
+    assert_eq!(r.status, HealthStatus::Ok, "{r:?}");
+
+    // Phase 1 — crash the writer; the next insert promotes a standby and
+    // succeeds. The failover lands in the open window: degraded, but the
+    // surface still serves.
+    net.partition(NodeId::Client, c.writer_endpoint());
+    net.partition(c.writer_endpoint(), NodeId::Storage);
+    c.insert(one_row(1000)).unwrap();
+    assert_eq!(c.takeover_generation(), 1);
+    let r = m.health();
+    assert_eq!(r.components[4].status, HealthStatus::Degraded, "{r:?}");
+    assert!(r.components[4].reason.contains("failovers"), "{}", r.components[4].reason);
+    assert_eq!(r.status, HealthStatus::Degraded, "{r:?}");
+    let (status, body) = http_get(addr, "/health");
+    assert!(status.contains("200"), "degraded still serves: {status}");
+    assert!(body.contains("\"status\":\"degraded\""), "{body}");
+
+    // Phase 2 — crash the promoted writer AND the next standby's links:
+    // the promotion itself fails, so no writer is serving. Unhealthy, and
+    // the REST surface says 503.
+    net.partition(NodeId::Client, c.writer_endpoint());
+    net.partition(c.writer_endpoint(), NodeId::Storage);
+    net.partition(NodeId::Client, NodeId::Standby(2));
+    net.partition(NodeId::Standby(2), NodeId::Storage);
+    c.insert(one_row(1001)).unwrap_err();
+    assert_eq!(c.takeover_generation(), 1, "failed promotion must not bump the generation");
+    let r = m.health();
+    assert_eq!(r.components[4].status, HealthStatus::Unhealthy, "{r:?}");
+    assert_eq!(r.status, HealthStatus::Unhealthy, "{r:?}");
+    let (status, _) = http_get(addr, "/health");
+    assert!(status.contains("503"), "unhealthy must be a load-balancer signal: {status}");
+
+    // Phase 3 — heal: the generation-1 writer answers again. The success
+    // must repair the up-gauge (the failed promotion left it at 0), so the
+    // component falls back to degraded (failovers still in window), not
+    // unhealthy.
+    net.heal();
+    c.insert(one_row(1001)).unwrap();
+    assert_eq!(c.takeover_generation(), 1);
+    let r = m.health();
+    assert_eq!(r.components[4].status, HealthStatus::Degraded, "{r:?}");
+    assert_eq!(r.status, HealthStatus::Degraded, "{r:?}");
+
+    // Phase 4 — close the window past the burst: health returns to ok.
+    let t1 = net.virtual_time().as_micros() as u64;
+    assert!(t1 > t0, "exhausted retries must burn virtual time");
+    m.tick_timeseries_at(t1);
+    let r = m.health();
+    assert_eq!(r.status, HealthStatus::Ok, "{r:?}");
+    let (status, body) = http_get(addr, "/health");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    server.shutdown();
+}

@@ -277,7 +277,7 @@ fn rest_debug_endpoints_return_well_formed_json() {
     let (status, health) = request("GET", "/health", "");
     assert!(status.contains("200"), "{status}");
     assert!(health["status"].as_str().is_some(), "{health:?}");
-    assert_eq!(health["components"].as_array().map(|c| c.len()), Some(4), "{health:?}");
+    assert_eq!(health["components"].as_array().map(|c| c.len()), Some(5), "{health:?}");
 
     server.shutdown();
 }

@@ -372,3 +372,122 @@ fn seeded_chaos_is_deterministic_and_correct() {
     let c = chaos_run(4243);
     assert_ne!(a, c, "different seed should explore a different schedule");
 }
+
+/// Transcript of one writer-crash chaos run on a failover-enabled cluster:
+/// the schedule repeatedly kills the *current* writer (ingest and storage
+/// links partitioned), so takeovers happen mid-stream while searches and
+/// further ingest continue.
+fn writer_chaos_run(seed: u64) -> Vec<String> {
+    let data = datagen::clustered(500, DIM, 10, -1.0, 1.0, 0.2, 908);
+    let net = SimNet::new(seed);
+    let c = Cluster::with_failover(
+        Schema::single("v", DIM, Metric::L2),
+        4,
+        2,
+        Arc::new(MemoryStore::new()),
+        LsmConfig { auto_merge: false, ..Default::default() },
+        net.clone(),
+    )
+    .unwrap();
+    c.set_retry_policy(RetryPolicy { attempts: 3, ..Default::default() });
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBADC0DE);
+    let mut transcript = Vec::new();
+    let mut next_id: i64 = 0;
+    let mut acked: Vec<i64> = Vec::new();
+    let sp = SearchParams::top_k(8);
+
+    for step in 0..150 {
+        match rng.gen_range(0..10) {
+            0..=3 => {
+                let n = rng.gen_range(4..12);
+                let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..data.len())).collect();
+                let ids: Vec<i64> = (0..n as i64).map(|i| next_id + i).collect();
+                next_id += n as i64;
+                let res = c.insert(InsertBatch::single(ids.clone(), data.gather(&rows)));
+                if res.is_ok() {
+                    acked.extend(&ids);
+                }
+                transcript.push(format!(
+                    "step {step}: insert {n} -> {} gen={}",
+                    if res.is_ok() { "ack" } else { "err" },
+                    c.takeover_generation(),
+                ));
+            }
+            4 => {
+                let res = c.flush();
+                transcript.push(format!(
+                    "step {step}: flush -> {}",
+                    if res.is_ok() { "ack" } else { "err" }
+                ));
+            }
+            5 | 6 => {
+                // Kill the current writer: clients cannot reach it and it
+                // cannot reach shared storage. The next ingest op promotes
+                // a standby.
+                let ep = c.writer_endpoint();
+                net.partition(NodeId::Client, ep);
+                net.partition(ep, NodeId::Storage);
+                transcript.push(format!("step {step}: crash {ep}"));
+            }
+            7 => {
+                net.heal();
+                let _ = c.resync();
+                transcript.push(format!("step {step}: heal"));
+            }
+            _ => {
+                let q = data.get(rng.gen_range(0..data.len()));
+                let report = c.search_detailed("v", q, &sp).unwrap();
+                transcript.push(format!(
+                    "step {step}: search uncovered={:?} ids={:?}",
+                    report.uncovered_shards,
+                    report
+                        .neighbors
+                        .iter()
+                        .map(|n: &Neighbor| (n.id, n.dist.to_bits()))
+                        .collect::<Vec<_>>(),
+                ));
+            }
+        }
+    }
+
+    // Converge: heal, flush through the surviving writer, and verify an
+    // acknowledged id is searchable (acked writes survive every takeover).
+    net.heal();
+    c.flush().unwrap();
+    assert!(!acked.is_empty(), "schedule never acked an insert");
+    let live = c.writer().live_ids();
+    for id in &acked {
+        assert!(live.binary_search(id).is_ok(), "acked id {id} lost after failovers");
+    }
+    transcript.push(format!(
+        "summary: gen={} acked={} live={} virtual={}us",
+        c.takeover_generation(),
+        acked.len(),
+        live.len(),
+        net.virtual_time().as_micros(),
+    ));
+    transcript
+}
+
+/// Seeded writer-crash chaos: takeovers happen mid-schedule, every acked
+/// insert survives, and the whole transcript (including which operations
+/// failed, search bit patterns, and the takeover generation) is
+/// bit-identical across two runs with the same seed.
+#[test]
+fn seeded_writer_crash_chaos_is_deterministic() {
+    let a = writer_chaos_run(6161);
+    assert!(
+        a.iter().any(|l| l.contains("crash ")),
+        "chaos schedule never crashed the writer"
+    );
+    assert!(
+        !a.last().unwrap().contains("gen=0"),
+        "no takeover happened: {:?}",
+        a.last()
+    );
+    let b = writer_chaos_run(6161);
+    assert_eq!(a, b, "same seed must give a bit-identical transcript");
+    let c = writer_chaos_run(6162);
+    assert_ne!(a, c, "different seed should explore a different schedule");
+}
